@@ -1,0 +1,82 @@
+"""Ablation: Clements rectangle vs Reck triangle, and self-configuration.
+
+Two design choices behind the Flumen fabric:
+
+1. **Mesh arrangement.**  Both decompositions use N(N-1)/2 MZIs, but the
+   rectangle (Clements, the paper's reference [10]) has depth N vs the
+   triangle's 2N-3 — lower worst-case insertion loss and a smaller
+   path-length spread for the attenuator column to equalize.
+2. **Self-configuration** (reference [15]): a fabricated mesh with
+   systematic phase offsets is reprogrammed to the target matrix using
+   only transfer-matrix measurements.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.config import DeviceParams
+from repro.photonics.calibration import PhaseOffsets, calibrate_to
+from repro.photonics.clements import decompose, random_unitary
+from repro.photonics.reck import decompose_reck
+
+SIZES = (4, 8, 16, 32)
+
+
+def depth_and_loss():
+    mzi_db = DeviceParams().mzi.insertion_loss_db
+    rows = []
+    for n in SIZES:
+        u = random_unitary(n, np.random.default_rng(n))
+        clem = decompose(u)
+        reck = decompose_reck(u)
+        rows.append({
+            "n": n,
+            "clements_depth": clem.num_columns,
+            "reck_depth": reck.num_columns,
+            "clements_loss": clem.num_columns * mzi_db,
+            "reck_loss": reck.num_columns * mzi_db,
+        })
+    return rows
+
+
+def calibration_sweep():
+    out = {}
+    for sigma in (0.02, 0.1, 0.3):
+        u = random_unitary(8, np.random.default_rng(42))
+        offsets = PhaseOffsets.random(28, sigma,
+                                      np.random.default_rng(43))
+        out[sigma] = calibrate_to(u, offsets, method="decomposition")
+    return out
+
+
+def test_mesh_arrangement(benchmark):
+    rows = benchmark(depth_and_loss)
+    table = [[r["n"], r["clements_depth"], r["reck_depth"],
+              f"{r['clements_loss']:.2f}", f"{r['reck_loss']:.2f}"]
+             for r in rows]
+    print()
+    print(format_table(
+        ["N", "Clements depth", "Reck depth",
+         "Clements loss (dB)", "Reck loss (dB)"],
+        table, title="Ablation: rectangular vs triangular mesh"))
+    for r in rows:
+        assert r["clements_depth"] == r["n"]
+        assert r["reck_depth"] == 2 * r["n"] - 3
+    # The loss advantage is what justifies the paper's choice.
+    big = rows[-1]
+    assert big["reck_loss"] / big["clements_loss"] > 1.8
+
+
+def test_self_configuration(benchmark):
+    results = benchmark.pedantic(calibration_sweep, rounds=1, iterations=1)
+    rows = [[f"{sigma:.2f}", f"{r.initial_error:.3f}",
+             f"{r.final_error:.2e}", r.sweeps_used, r.measurements]
+            for sigma, r in results.items()]
+    print()
+    print(format_table(
+        ["offset sigma (rad)", "error before", "error after",
+         "iterations", "measurements"],
+        rows, title="Self-configuration of a fabricated 8x8 mesh"))
+    for r in results.values():
+        assert r.final_error < 1e-9
+        assert r.sweeps_used <= 2

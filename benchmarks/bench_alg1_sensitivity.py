@@ -1,0 +1,131 @@
+"""Section 3.4: sensitivity of the Algorithm 1 parameters tau, eta, zeta.
+
+Paper findings under test:
+
+* tau = 100 works; tau > 170 collapses serviced compute requests (too
+  many left outstanding);
+* eta <~ 30% is too strict (low compute service), eta >~ 55% lets
+  computation block communication (packet latency climbs);
+* a buffer scan depth zeta surfaces hot buffers a global average washes
+  out (motivating zeta = 50%).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import knee_of, sweep
+from repro.config import SchedulerConfig, SystemConfig
+from repro.core.accelerator import plan_offload
+from repro.core.control_unit import ComputeRequest, MZIMControlUnit
+from repro.core.scheduler import FlumenScheduler
+from repro.noc.flumen_net import FlumenNetwork
+from repro.noc.traffic import TrafficGenerator
+
+SIM_CYCLES = 4000
+REQUEST_PERIOD = 120
+JOB = plan_offload(8, 8, 256, 8, 8)
+
+
+def run_mix(scheduler_cfg: SchedulerConfig, load: float = 0.35,
+            seed: int = 3) -> dict[str, float]:
+    """Mixed comm + compute run; returns service/latency metrics."""
+    system = SystemConfig().replace(scheduler=scheduler_cfg)
+    net = FlumenNetwork(16)
+    control = MZIMControlUnit(net, system)
+    scheduler = FlumenScheduler(control, system)
+    traffic = TrafficGenerator(16, "uniform", load, seed=seed)
+    submitted = 0
+    for cycle in range(SIM_CYCLES):
+        for packet in traffic.packets_for_cycle(net.cycle):
+            net.offer_packet(packet)
+        if cycle % REQUEST_PERIOD == 0:
+            control.compute_buffer.append(ComputeRequest(
+                node=cycle % 16, plan=JOB, matrix_key="k",
+                submit_cycle=cycle, ports_needed=4,
+                duration_override=60))
+            control.requests_received += 1
+            submitted += 1
+        scheduler.tick()
+        net.step()
+    return {
+        "submitted": float(submitted),
+        "serviced": float(scheduler.stats.completed),
+        "service_rate": scheduler.stats.completed / max(submitted, 1),
+        "avg_wait": scheduler.stats.average_wait,
+        "packet_latency": net.latency.average,
+    }
+
+
+def tau_sweep():
+    # Calm network: tau alone controls when requests get evaluated.
+    return sweep("tau", [25, 50, 100, 150, 200, 300],
+                 lambda tau: run_mix(SchedulerConfig(tau_cycles=int(tau)),
+                                     load=0.12))
+
+
+def eta_sweep():
+    # Moderate load: buffers hover near the threshold, so eta decides.
+    return sweep("eta", [0.1, 0.25, 0.4, 0.55, 0.7, 0.9],
+                 lambda eta: run_mix(SchedulerConfig(eta=eta), load=0.25))
+
+
+def test_tau_sensitivity(benchmark):
+    points = benchmark.pedantic(tau_sweep, rounds=1, iterations=1)
+    rows = [[p.value, f"{p.metrics['service_rate'] * 100:.0f}%",
+             f"{p.metrics['avg_wait']:.0f}",
+             f"{p.metrics['packet_latency']:.1f}"] for p in points]
+    print()
+    print(format_table(
+        ["tau (cycles)", "requests serviced", "avg grant wait",
+         "pkt latency"], rows,
+        title="Section 3.4: partition period tau sweep"))
+    by_tau = {p.value: p.metrics for p in points}
+    # Service holds up through tau = 100-150 and collapses past ~170
+    # (paper: "tau > 170 ... rapid decrease in serviced computation").
+    assert by_tau[100]["service_rate"] > 0.9
+    assert by_tau[300]["service_rate"] < by_tau[100]["service_rate"]
+    # Grant waits stretch as tau grows (requests sit until the next
+    # evaluation boundary).
+    assert by_tau[300]["avg_wait"] > by_tau[50]["avg_wait"]
+
+
+def test_eta_sensitivity(benchmark):
+    points = benchmark.pedantic(eta_sweep, rounds=1, iterations=1)
+    rows = [[f"{p.value:.2f}", f"{p.metrics['service_rate'] * 100:.0f}%",
+             f"{p.metrics['packet_latency']:.1f}"] for p in points]
+    print()
+    print(format_table(
+        ["eta", "requests serviced", "pkt latency"], rows,
+        title="Section 3.4: buffer threshold eta sweep (hot network)"))
+    by_eta = {round(p.value, 2): p.metrics for p in points}
+    # Strict eta refuses compute service under load...
+    assert by_eta[0.1]["service_rate"] < by_eta[0.9]["service_rate"]
+    # ...while permissive eta lets compute block communication (paper:
+    # eta >~ 55% causes slowdown).
+    assert by_eta[0.9]["packet_latency"] > 2 * by_eta[0.1]["packet_latency"]
+
+
+def test_zeta_scan_depth(benchmark):
+    def build():
+        net = FlumenNetwork(16, request_buffer_capacity=8)
+        net.block_ports(set(range(16)))
+        # Two hot nodes in an otherwise idle network.
+        from repro.noc.packet import Packet
+        for src in (3, 9):
+            for _ in range(8):
+                net.offer_packet(Packet(src=src, dst=0, size_flits=1,
+                                        create_cycle=0))
+        return {zeta: net.buffer_utilization(scan_depth=zeta)
+                for zeta in (0.125, 0.25, 0.5, 1.0)}
+
+    util = benchmark(build)
+    rows = [[z, f"{u:.3f}"] for z, u in util.items()]
+    print()
+    print(format_table(["zeta", "observed utilization"], rows,
+                       title="Section 3.4: scan depth zeta on 2 hot nodes"))
+    # A global average (zeta=1) underestimates hot-node pressure by ~8x
+    # relative to a focused scan — the paper's motivation for zeta.
+    assert util[0.125] == 1.0
+    assert util[1.0] < 0.2
+    values = [util[z] for z in (0.125, 0.25, 0.5, 1.0)]
+    assert values == sorted(values, reverse=True)

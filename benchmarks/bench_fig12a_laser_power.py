@@ -1,0 +1,54 @@
+"""Figure 12(a): laser power scaling versus MRR thru loss and wavelengths.
+
+OptBus worst-case loss scales with k*p ring passes; Flumen with k/2 MZI
+columns + 2p endpoint passes — in dB, so the laser-power gap grows
+exponentially.  The paper's quoted anchor: at 32 wavelengths and 0.1 dB
+thru loss, 32.3 mW (OptBus) vs 429.6 uW (Flumen), a 75x gap.
+"""
+
+from repro.analysis.report import format_table
+from repro.photonics.power import laser_power_sweep
+
+ROUTERS = 16
+THRU_SWEEP = [0.0, 0.01, 0.02, 0.03, 0.04, 0.05]
+WAVELENGTHS = (16, 32, 64)
+
+
+def run_sweep():
+    out = {}
+    for lam in WAVELENGTHS:
+        for topo in ("optbus", "flumen"):
+            out[(topo, lam)] = laser_power_sweep(
+                topo, ROUTERS, lam, THRU_SWEEP)
+    return out
+
+
+def test_laser_power_scaling(benchmark):
+    grid = benchmark(run_sweep)
+    rows = []
+    for lam in WAVELENGTHS:
+        for i, thru in enumerate(THRU_SWEEP):
+            rows.append([lam, thru,
+                         f"{grid[('optbus', lam)][i] * 1e3:.3f}",
+                         f"{grid[('flumen', lam)][i] * 1e3:.3f}",
+                         f"{grid[('optbus', lam)][i] / grid[('flumen', lam)][i]:.1f}x"])
+    print()
+    print(format_table(
+        ["lambdas", "MRR thru (dB)", "OptBus (mW)", "Flumen (mW)", "gap"],
+        rows, title="Figure 12(a): laser power vs MRR thru loss"))
+
+    # Anchor point the paper quotes (0.1 dB, 32 lambdas).
+    optbus = laser_power_sweep("optbus", ROUTERS, 32, [0.1])[0]
+    flumen = laser_power_sweep("flumen", ROUTERS, 32, [0.1])[0]
+    print(f"\nanchor @0.1 dB, 32 lambdas: OptBus {optbus * 1e3:.1f} mW "
+          f"(paper 32.3), Flumen {flumen * 1e6:.0f} uW (paper 429.6), "
+          f"gap {optbus / flumen:.0f}x (paper 75x)")
+
+    # Shape claims: exponential growth for OptBus, large and widening gap.
+    ob = grid[("optbus", 32)]
+    fl = grid[("flumen", 32)]
+    assert ob[-1] / ob[0] > fl[-1] / fl[0]  # OptBus grows faster
+    ratios = [o / f for o, f in zip(ob, fl)]
+    assert ratios == sorted(ratios)
+    assert optbus / flumen > 30.0
+    assert 10e-3 < optbus < 100e-3  # within ~2x of the paper's 32.3 mW

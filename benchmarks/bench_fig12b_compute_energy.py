@@ -1,0 +1,56 @@
+"""Figure 12(b) + Section 5.3: compute energy scaling vs electrical MACs.
+
+Anchors from the paper: 8x8 with 4 vectors = 69.2 pJ electrical vs
+33.8 pJ Flumen (2x); 16x16 with 8 vectors = 554 pJ vs 82 pJ; 64x64 =
+0.62 / 1.32 / 2.24 nJ for 1 / 4 / 8 MVMs (1.8x / 3.4x / 4.0x).
+"""
+
+from repro.analysis.report import format_table
+from repro.photonics.compute_energy import MZIMComputeModel
+
+JOBS = [(8, 1), (8, 4), (8, 8), (16, 4), (16, 8), (32, 8),
+        (64, 1), (64, 4), (64, 8)]
+PAPER = {(8, 4): 33.8e-12, (16, 8): 82e-12,
+         (64, 1): 0.62e-9, (64, 4): 1.32e-9, (64, 8): 2.24e-9}
+
+
+def run_grid():
+    model = MZIMComputeModel()
+    return {(n, m): (model.matmul_energy(n, m),
+                     model.electrical_matmul_energy(n, m))
+            for n, m in JOBS}
+
+
+def test_compute_energy_scaling(benchmark):
+    grid = benchmark(run_grid)
+    rows = []
+    for (n, m), (phot, elec) in grid.items():
+        paper = PAPER.get((n, m))
+        rows.append([
+            f"{n}x{n}", m,
+            f"{phot.total * 1e12:.1f}",
+            f"{paper * 1e12:.1f}" if paper else "-",
+            f"{elec * 1e12:.1f}",
+            f"{elec / phot.total:.1f}x",
+        ])
+    print()
+    print(format_table(
+        ["MZIM", "vectors", "Flumen (pJ)", "paper (pJ)",
+         "electrical (pJ)", "advantage"],
+        rows, title="Figure 12(b): compute energy scaling"))
+
+    # Absolute anchors within 15% — except (16, 8): the paper's 82 pJ is
+    # mutually inconsistent with its own additive 64x64 series (see
+    # EXPERIMENTS.md); our model lands at ~131 pJ and we only require the
+    # right order of magnitude there.
+    for key, expected in PAPER.items():
+        measured = grid[key][0].total
+        if key == (16, 8):
+            assert expected * 0.5 < measured < expected * 2.0
+            continue
+        assert abs(measured - expected) / expected < 0.15, key
+    # Advantage grows with vector count at 64x64 (1.8x -> 4.0x).
+    adv = [grid[(64, m)][1] / grid[(64, m)][0].total for m in (1, 4, 8)]
+    assert adv == sorted(adv)
+    assert 1.4 < adv[0] < 2.3
+    assert 3.2 < adv[2] < 4.8

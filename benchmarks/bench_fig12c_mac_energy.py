@@ -1,0 +1,44 @@
+"""Figure 12(c): energy per MAC versus MZIM dimension and wavelengths.
+
+Larger MZIMs amortize the phase-shifter-DAC static power over more MACs
+per pass; more wavelengths amortize the per-window static energy over more
+concurrent MVMs.  Also prints the static-power split Section 5.3 discusses
+(DAC hold power dominating).
+"""
+
+from repro.analysis.report import format_table
+from repro.photonics.compute_energy import MZIMComputeModel
+
+DIMS = [4, 8, 16, 32, 64]
+LAMBDAS = [1, 2, 4, 8, 16]
+
+
+def run_grid():
+    model = MZIMComputeModel()
+    return model.mac_energy_sweep(DIMS, LAMBDAS), model
+
+
+def test_mac_energy_tradeoff(benchmark):
+    grid, model = benchmark(run_grid)
+    rows = []
+    for n in DIMS:
+        rows.append([f"{n}x{n}"] +
+                    [f"{grid[(n, p)] * 1e15:.1f}" for p in LAMBDAS])
+    print()
+    print(format_table(
+        ["MZIM \\ lambdas"] + [str(p) for p in LAMBDAS], rows,
+        title="Figure 12(c): energy per MAC (fJ), saturated windows"))
+
+    # Static split at 8x8, one window (Section 5.3 narrative).
+    e = model.matmul_energy(8, 8)
+    print(f"\n8x8 window energy split: static {e.static * 1e12:.1f} pJ "
+          f"(phase-hold DACs), laser {e.laser * 1e12:.1f} pJ, "
+          f"I/O {e.io * 1e12:.1f} pJ")
+
+    # Energy/MAC improves monotonically with wavelengths at every size.
+    for n in DIMS:
+        series = [grid[(n, p)] for p in LAMBDAS]
+        assert series == sorted(series, reverse=True), n
+    # And improves with dimension at full WDM width.
+    wide = [grid[(n, 16)] for n in DIMS]
+    assert wide[0] > wide[-1]

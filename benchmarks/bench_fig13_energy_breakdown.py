@@ -1,0 +1,65 @@
+"""Figure 13: per-component energy breakdown for every (workload, config).
+
+Paper claims under test: Flumen-A improves energy by 1.5x/1.9x/2.9x/2.6x/
+4.8x vs Mesh (geomean 2.5x) and 2.3x geomean vs Flumen-I; core energy
+drops ~2x under acceleration; L1/L2 fall while L3/DRAM stay flat; NoP is a
+small share of Flumen-A's total.
+"""
+
+from repro.analysis.metrics import energy_reduction, geomean
+from repro.analysis.report import format_table
+
+from benchmarks.common import (
+    PAPER_ENERGY_VS_MESH,
+    PAPER_GEOMEAN,
+    full_sweep,
+    workload_names,
+)
+
+COMPONENTS = ("core", "l1", "l2", "l3", "dram", "nop", "mzim")
+
+
+def test_energy_breakdown(benchmark):
+    sweep = benchmark.pedantic(full_sweep, rounds=1, iterations=1)
+    for name in workload_names():
+        rows = []
+        for cfg in ("ring", "mesh", "optbus", "flumen_i", "flumen_a"):
+            run = sweep[name][cfg]
+            parts = run.energy.as_dict()
+            rows.append([cfg] +
+                        [f"{parts[c] * 1e6:.1f}" for c in COMPONENTS] +
+                        [f"{run.energy.total * 1e6:.1f}"])
+        print()
+        print(format_table(
+            ["config"] + list(COMPONENTS) + ["total"], rows,
+            title=f"Figure 13 [{name}] energy by component (uJ)"))
+
+    reductions = []
+    rows = []
+    for name in workload_names():
+        r = energy_reduction(sweep[name]["mesh"], sweep[name]["flumen_a"])
+        reductions.append(r)
+        rows.append([name, f"{r:.2f}x",
+                     f"{PAPER_ENERGY_VS_MESH[name]:.1f}x"])
+    gm = geomean(reductions)
+    rows.append(["GEOMEAN", f"{gm:.2f}x",
+                 f"{PAPER_GEOMEAN['energy']:.1f}x"])
+    print()
+    print(format_table(["workload", "F-A vs Mesh", "paper"], rows,
+                       title="Energy reduction summary"))
+
+    assert 2.0 < gm < 3.2  # paper: 2.5x
+    for name in workload_names():
+        mesh = sweep[name]["mesh"]
+        fa = sweep[name]["flumen_a"]
+        assert fa.energy.total < mesh.energy.total, name
+        assert fa.energy.core < mesh.energy.core, name
+        # DRAM roughly unchanged (same data from memory).
+        assert abs(fa.energy.dram - mesh.energy.dram) \
+            <= 0.25 * mesh.energy.dram, name
+    # Flumen-I vs Flumen-A geomean (paper 2.3x).
+    gm_fi = geomean([energy_reduction(sweep[n]["flumen_i"],
+                                      sweep[n]["flumen_a"])
+                     for n in workload_names()])
+    print(f"\ngeomean vs Flumen-I: {gm_fi:.2f}x (paper 2.3x)")
+    assert 1.7 < gm_fi < 3.0

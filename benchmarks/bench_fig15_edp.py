@@ -1,0 +1,47 @@
+"""Figure 15: energy-delay product comparison.
+
+Paper: Flumen-A improves EDP by 5.1/3.9/13.0/10.5/25.2x vs Mesh per
+workload (geomean 9.3x) and 7.4x geomean vs Flumen-I.
+"""
+
+from repro.analysis.metrics import edp_reduction, geomean
+from repro.analysis.report import format_table
+
+from benchmarks.common import (
+    PAPER_EDP_VS_MESH,
+    PAPER_GEOMEAN,
+    full_sweep,
+    workload_names,
+)
+
+
+def test_edp(benchmark):
+    sweep = benchmark.pedantic(full_sweep, rounds=1, iterations=1)
+    rows = []
+    vs_mesh, vs_fi = [], []
+    for name in workload_names():
+        fa = sweep[name]["flumen_a"]
+        m = edp_reduction(sweep[name]["mesh"], fa)
+        fi = edp_reduction(sweep[name]["flumen_i"], fa)
+        vs_mesh.append(m)
+        vs_fi.append(fi)
+        rows.append([name,
+                     f"{sweep[name]['mesh'].edp * 1e9:.3f}",
+                     f"{fa.edp * 1e9:.3f}",
+                     f"{m:.1f}x", f"{PAPER_EDP_VS_MESH[name]:.1f}x",
+                     f"{fi:.1f}x"])
+    gm_mesh, gm_fi = geomean(vs_mesh), geomean(vs_fi)
+    rows.append(["GEOMEAN", "", "", f"{gm_mesh:.1f}x",
+                 f"{PAPER_GEOMEAN['edp']:.1f}x", f"{gm_fi:.1f}x"])
+    print()
+    print(format_table(
+        ["workload", "mesh EDP (nJ*s)", "F-A EDP (nJ*s)",
+         "vs mesh", "paper", "vs F-I"],
+        rows, title="Figure 15: energy-delay product"))
+
+    assert 6.0 < gm_mesh < 14.0   # paper: 9.3x
+    assert 5.0 < gm_fi < 13.0     # paper: 7.4x
+    # EDP improves for every workload, and by more than energy alone
+    # (speedup compounds).
+    for name, m in zip(workload_names(), vs_mesh):
+        assert m > 2.0, name

@@ -1,0 +1,74 @@
+"""WDM link budget: the Figure 2 / Table 2 loss stack, end to end.
+
+Walks one photonic NoP link device by device — laser coupling, TX ring
+bank, MZIM traversal, RX demux, photodetection — and checks the budget
+closes at the receiver sensitivity for every wavelength count, with the
+laser power the closure implies.
+"""
+
+from repro.analysis.report import format_table
+from repro.config import DEFAULT_DEVICES, dbm_to_watts, watts_to_dbm
+from repro.photonics.power import (
+    RING_SPECTRAL_FRACTION,
+    flumen_worst_loss_db,
+    laser_power_w,
+    photonic_link_energy,
+)
+
+WAVELENGTHS = (16, 32, 64)
+ROUTERS = 16
+
+
+def budget_rows(wavelengths: int):
+    d = DEFAULT_DEVICES
+    columns = ROUTERS // 2 + 1
+    items = [
+        ("MZIM traversal", columns * d.mzi.insertion_loss_db,
+         f"{columns} columns x {d.mzi.insertion_loss_db:.2f} dB"),
+        ("TX+RX ring banks",
+         2 * wavelengths * d.mrr.thru_loss_db * RING_SPECTRAL_FRACTION,
+         f"2 x {wavelengths} rings (spectral fraction "
+         f"{RING_SPECTRAL_FRACTION})"),
+        ("RX drop", d.mrr.drop_loss_db, "on-resonance drop"),
+        ("waveguide", 0.4 * d.waveguide.straight_loss_db_per_cm,
+         "0.4 cm interposer crossing"),
+    ]
+    total = sum(loss for _, loss, _ in items)
+    return items, total
+
+
+def test_link_budget(benchmark):
+    tables = benchmark(lambda: {lam: budget_rows(lam)
+                                for lam in WAVELENGTHS})
+    d = DEFAULT_DEVICES
+    for lam, (items, total) in tables.items():
+        rows = [[name, f"{loss:.2f}", note] for name, loss, note in items]
+        rows.append(["TOTAL", f"{total:.2f}", ""])
+        print()
+        print(format_table(["stage", "loss (dB)", "note"], rows,
+                           title=f"Link budget @ {lam} wavelengths"))
+        model_total = flumen_worst_loss_db(ROUTERS, lam)
+        assert abs(model_total - total) < 1e-9
+
+        laser = laser_power_w(total, lam)
+        per_lambda_dbm = watts_to_dbm(laser * d.laser.owpe / lam)
+        received_dbm = per_lambda_dbm - total
+        print(f"laser: {laser * 1e3:.3f} mW electrical -> "
+              f"{per_lambda_dbm:.1f} dBm/lambda optical -> "
+              f"{received_dbm:.1f} dBm at the photodiode "
+              f"(sensitivity {d.photodiode.sensitivity_dbm:.0f} dBm)")
+        # Budget closes exactly at sensitivity (zero default margin).
+        assert abs(received_dbm - d.photodiode.sensitivity_dbm) < 1e-6
+        # Received power is detectable.
+        assert dbm_to_watts(received_dbm) >= \
+            dbm_to_watts(d.photodiode.sensitivity_dbm) - 1e-12
+
+    # WDM's win is bandwidth *density*: 4x the bits through the same
+    # waveguide at essentially constant energy per bit (each wavelength
+    # brings its own modulator/TIA; the laser share grows only with the
+    # extra ring loss).
+    energies = {lam: photonic_link_energy(lam).total for lam in WAVELENGTHS}
+    print(f"\nenergy/bit: " + ", ".join(
+        f"{lam} lam = {e * 1e12:.2f} pJ" for lam, e in energies.items()))
+    assert max(energies.values()) < 1.1 * min(energies.values())
+    assert all(e < 1.17e-12 for e in energies.values())  # beats electrical

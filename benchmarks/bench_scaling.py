@@ -1,0 +1,75 @@
+"""Scaling study: Flumen toward 128-chiplet systems (Sections 1, 5.1).
+
+The paper motivates Flumen with future large chiplet systems; Section 5.1
+sketches a 64x64 MZIM for 128 chiplets.  This bench sweeps the system
+size and reports the quantities that govern scalability: MZI count, mesh
+depth, interposer area fraction, worst-case loss, and laser power for
+Flumen vs OptBus.
+"""
+
+from repro.analysis.report import format_table
+from repro.multicore.area import AreaModel, flumen_mzim_mzis
+from repro.photonics.power import (
+    flumen_worst_loss_db,
+    laser_power_w,
+    optbus_worst_loss_db,
+)
+
+CHIPLET_COUNTS = (16, 32, 64, 128)
+WAVELENGTHS = 64
+
+
+def scale_table():
+    area = AreaModel()
+    rows = []
+    for chiplets in CHIPLET_COUNTS:
+        ports = chiplets // 2
+        mzis = flumen_mzim_mzis(ports)
+        fl_loss = flumen_worst_loss_db(chiplets, WAVELENGTHS)
+        ob_loss = optbus_worst_loss_db(chiplets, WAVELENGTHS)
+        fl_laser = laser_power_w(fl_loss, WAVELENGTHS)
+        ob_laser = laser_power_w(ob_loss, WAVELENGTHS)
+        scaling = area.scaling_row(chiplets)
+        rows.append({
+            "chiplets": chiplets,
+            "ports": ports,
+            "mzis": mzis,
+            "depth": ports + 1,
+            "interposer_frac": scaling["mzim_fraction"],
+            "fl_loss": fl_loss,
+            "ob_loss": ob_loss,
+            "fl_laser": fl_laser,
+            "ob_laser": ob_laser,
+        })
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = benchmark(scale_table)
+    table = [[r["chiplets"], f"{r['ports']}x{r['ports']}", r["mzis"],
+              r["depth"], f"{100 * r['interposer_frac']:.1f}%",
+              f"{r['fl_loss']:.1f}", f"{r['ob_loss']:.1f}",
+              f"{r['fl_laser'] * 1e3:.2f}", f"{r['ob_laser'] * 1e3:.2f}"]
+             for r in rows]
+    print()
+    print(format_table(
+        ["chiplets", "MZIM", "MZIs", "depth",
+         "interposer share", "Flumen loss dB", "OptBus loss dB",
+         "Flumen laser mW", "OptBus laser mW"],
+        table, title="Scaling toward 128 chiplets (64 lambdas)"))
+
+    first, last = rows[0], rows[-1]
+    # MZI count grows quadratically with ports...
+    assert last["mzis"] / first["mzis"] > 40
+    # ...yet the interposer share of total silicon stays bounded
+    # (Section 5.1: the MZIM "scales well in comparison to the chiplets").
+    assert last["interposer_frac"] < 0.30
+    # Flumen loss grows linearly (k/2 columns) while OptBus grows with
+    # k*p ring passes: the laser-power gap explodes with system size.
+    fl_growth = last["fl_laser"] / first["fl_laser"]
+    ob_growth = last["ob_laser"] / first["ob_laser"]
+    assert ob_growth > 10 * fl_growth
+    # At 128 chiplets Flumen's laser stays in the single-watt regime
+    # while OptBus is already off the charts.
+    assert last["fl_laser"] < 5.0
+    assert last["ob_laser"] > 100.0

@@ -1,0 +1,54 @@
+"""Section 5.1: area accounting and interposer scaling.
+
+Paper anchors: 9.46 mm^2 per Flumen endpoint (4.2% transceiver), 8x8 MZIM
++ controller = 11.2 mm^2, 162.6 mm^2 Flumen system vs 114.9 mm^2 mesh;
+64x64 MZIM = 291.20 mm^2 against 1210.88 mm^2 of chiplets at 128 chiplets.
+"""
+
+from repro.analysis.report import format_table
+from repro.multicore.area import AreaModel
+
+
+def run_model():
+    area = AreaModel()
+    return {
+        "endpoint": area.flumen_endpoint(),
+        "flumen_system": area.flumen_system(),
+        "mesh_system": area.mesh_system(),
+        "mzim_ctrl": area.mzim_with_controller(),
+        "scaling": [area.scaling_row(c) for c in (16, 32, 64, 128)],
+    }
+
+
+def test_area_report(benchmark):
+    out = benchmark(run_model)
+    ep = out["endpoint"]
+    rows = [
+        ["Flumen endpoint", f"{ep.total:.2f}", "9.46"],
+        ["  transceiver share",
+         f"{100 * ep['transceiver'] / ep.total:.1f}%", "4.2%"],
+        ["8x8 MZIM + controller", f"{out['mzim_ctrl']:.2f}", "11.2"],
+        ["Flumen system", f"{out['flumen_system'].total:.1f}", "162.6"],
+        ["Mesh system", f"{out['mesh_system'].total:.1f}", "114.9"],
+    ]
+    print()
+    print(format_table(["component", "mm^2 (measured)", "paper"], rows,
+                       title="Section 5.1: area"))
+
+    scale_rows = [[r["chiplets"], f"{r['mzim_mm2']:.1f}",
+                   f"{r['chiplet_mm2']:.1f}",
+                   f"{100 * r['mzim_fraction']:.1f}%"]
+                  for r in out["scaling"]]
+    print(format_table(
+        ["chiplets", "MZIM mm^2", "chiplets mm^2", "interposer share"],
+        scale_rows, title="\nInterposer scaling (paper: 291.2 vs 1210.9 "
+                          "at 128 chiplets)"))
+
+    assert abs(ep.total - 9.46) < 0.1
+    assert abs(out["flumen_system"].total - 162.6) / 162.6 < 0.05
+    assert abs(out["mesh_system"].total - 114.9) / 114.9 < 0.02
+    big = out["scaling"][-1]
+    assert abs(big["mzim_mm2"] - 291.2) / 291.2 < 0.02
+    assert abs(big["chiplet_mm2"] - 1210.88) / 1210.88 < 0.01
+    # MZIM area grows but stays a modest fraction of chiplet area.
+    assert big["mzim_fraction"] < 0.25

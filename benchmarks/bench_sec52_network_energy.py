@@ -1,0 +1,52 @@
+"""Section 5.2: network energy on synthetic traffic, relative to Ring.
+
+Paper: reductions vs Ring of 77% (Mesh), 35% (OptBus), 39% (Flumen); the
+note that Flumen's energy slightly exceeds OptBus because of compute-path
+DAC/ADC overhead, which a pure-communication MZIM would not carry.
+"""
+
+from repro.analysis.metrics import percent_reduction
+from repro.analysis.report import format_table
+from repro.noc.energy import NetworkEnergyModel
+from repro.noc.simulation import SweepConfig, run_point
+
+CONFIG = SweepConfig(cycles=2500, warmup=800)
+LOAD = 0.3
+PAPER_REDUCTION = {"mesh": 77.0, "optbus": 35.0, "flumen": 39.0}
+
+
+def run_energy():
+    model = NetworkEnergyModel()
+    out = {}
+    for topo in ("ring", "mesh", "optbus", "flumen"):
+        result = run_point(topo, "uniform", LOAD, CONFIG)
+        out[topo] = model.of(result)
+        if topo == "flumen":
+            out["flumen_pure_comm"] = model.flumen(
+                result, include_converters=False)
+    return out
+
+
+def test_network_energy_vs_ring(benchmark):
+    reports = benchmark.pedantic(run_energy, rounds=1, iterations=1)
+    ring = reports["ring"].total
+    rows = []
+    for topo in ("ring", "mesh", "optbus", "flumen", "flumen_pure_comm"):
+        total = reports[topo].total
+        red = percent_reduction(ring, total)
+        paper = PAPER_REDUCTION.get(topo)
+        rows.append([topo, f"{total * 1e6:.2f}",
+                     f"{red:.0f}%", f"{paper:.0f}%" if paper else "-"])
+    print()
+    print(format_table(
+        ["topology", "energy (uJ)", "reduction vs ring", "paper"],
+        rows, title=f"Section 5.2: network energy (uniform @ {LOAD})"))
+
+    # Ordering claims.
+    assert reports["mesh"].total < ring
+    assert reports["optbus"].total < reports["mesh"].total
+    # Flumen slightly above OptBus due to converter statics...
+    assert reports["flumen"].total > reports["optbus"].total
+    # ...and a pure-communication MZIM drops that overhead.
+    assert reports["flumen_pure_comm"].total < reports["flumen"].total
+    assert reports["flumen_pure_comm"].converter_static == 0.0

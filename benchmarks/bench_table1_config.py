@@ -1,0 +1,78 @@
+"""Tables 1 and 2: configuration consistency and derived quantities.
+
+Regenerates the two parameter tables from the config dataclasses and
+checks the derived values the paper states (link bandwidths, chiplet
+count, 8x8 MZIM) hold.
+"""
+
+from repro.analysis.report import format_table
+from repro.config import DEFAULT_DEVICES, DEFAULT_SYSTEM
+
+
+def build_table1() -> str:
+    cfg = DEFAULT_SYSTEM
+    rows = [
+        ["Core", "frequency", f"{cfg.core.frequency_hz / 1e9:.1f} GHz"],
+        ["Core", "type", cfg.core.core_type],
+        ["Core", "number", cfg.core.count],
+        ["Core", "L1i / L1d", f"{cfg.core.l1i_size_b // 1024} kB"],
+        ["L2 (private)", "size", f"{cfg.cache.l2_size_b // 1024} kB"],
+        ["L3 (shared)", "size", f"{cfg.cache.l3_size_b // 2**20} MB"],
+        ["L3 (shared)", "concentration",
+         f"{cfg.cache.l3_concentration} cores"],
+        ["Elec. NoP link", "energy",
+         f"{cfg.elec_link.energy_j_per_bit * 1e12:.2f} pJ/bit"],
+        ["Elec. NoP link", "bandwidth",
+         f"{cfg.elec_link.bandwidth_bps / 1e9:.0f} Gbps"],
+        ["Photonic NoP link", "bandwidth (64 lam)",
+         f"{cfg.phot_link.bandwidth_bps / 1e9:.0f} Gbps"],
+        ["Flumen Compute", "computation lambdas",
+         cfg.compute.computation_wavelengths],
+        ["Flumen Compute", "input modulation",
+         f"{cfg.compute.input_modulation_hz / 1e9:.0f} GHz"],
+        ["Flumen Compute", "MZIM switch delay",
+         f"{cfg.compute.mzim_switch_delay_s * 1e9:.0f} ns"],
+        ["Flumen Compute", "equivalent precision",
+         f"{cfg.compute.equivalent_precision_bits} bits"],
+    ]
+    return format_table(["Component", "Parameter", "Value"], rows,
+                        title="Table 1 (reproduced)")
+
+
+def build_table2() -> str:
+    d = DEFAULT_DEVICES
+    rows = [
+        ["Waveguide", "straight loss",
+         f"{d.waveguide.straight_loss_db_per_cm} dB/cm"],
+        ["Waveguide", "bent loss",
+         f"{d.waveguide.bent_loss_db_per_cm} dB/cm"],
+        ["Y-branch", "loss", f"{d.y_branch.loss_db} dB"],
+        ["MRR", "thru / drop loss",
+         f"{d.mrr.thru_loss_db} / {d.mrr.drop_loss_db} dB"],
+        ["MZI", "phase shifter loss",
+         f"{d.mzi.phase_shifter_loss_db} dB"],
+        ["MZI", "coupler loss", f"{d.mzi.coupler_loss_db} dB"],
+        ["Laser", "OWPE", d.laser.owpe],
+        ["Laser", "RIN", f"{d.laser.rin_db_per_hz} dBc/Hz"],
+        ["ADC / DAC", "power",
+         f"{d.converter.adc_power_w * 1e3:.0f} / "
+         f"{d.converter.dac_power_w * 1e3:.0f} mW"],
+        ["TIA", "power", f"{d.converter.tia_power_w * 1e6:.0f} uW"],
+        ["Ser & Deser", "power",
+         f"{d.converter.serdes_power_w * 1e3:.1f} mW"],
+    ]
+    return format_table(["Component", "Parameter", "Value"], rows,
+                        title="Table 2 (reproduced)")
+
+
+def test_tables_render(benchmark):
+    t1, t2 = benchmark(lambda: (build_table1(), build_table2()))
+    print()
+    print(t1)
+    print()
+    print(t2)
+    # Derived quantities the paper states.
+    assert DEFAULT_SYSTEM.chiplets == 16
+    assert DEFAULT_SYSTEM.mzim_ports == 8
+    assert DEFAULT_SYSTEM.phot_link.bandwidth_bps == 640e9
+    assert "640 Gbps" in t1

@@ -1,0 +1,47 @@
+"""Shared infrastructure for the per-figure benchmark modules.
+
+The Figure 13/14/15 benches all consume the same 5 workloads x 5
+configurations sweep; it is computed once per pytest session and cached
+here so each bench measures its own slice without re-simulating.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.system import CONFIGURATIONS, SystemModel, WorkloadRun
+from repro.workloads import paper_workloads
+
+#: Paper-reported values used in the printed comparisons.
+PAPER_SPEEDUP_VS_MESH = {
+    "image_blur": 3.3, "vgg16_fc": 2.0, "resnet50_conv3": 4.5,
+    "jpeg": 4.0, "rotation3d": 5.2,
+}
+PAPER_ENERGY_VS_MESH = {
+    "image_blur": 1.5, "vgg16_fc": 1.9, "resnet50_conv3": 2.9,
+    "jpeg": 2.6, "rotation3d": 4.8,
+}
+PAPER_EDP_VS_MESH = {
+    "image_blur": 5.1, "vgg16_fc": 3.9, "resnet50_conv3": 13.0,
+    "jpeg": 10.5, "rotation3d": 25.2,
+}
+PAPER_GEOMEAN = {"speedup": 3.6, "energy": 2.5, "edp": 9.3}
+
+
+@functools.lru_cache(maxsize=1)
+def full_sweep() -> dict[str, dict[str, WorkloadRun]]:
+    """All (workload, configuration) runs at paper shapes — cached."""
+    model = SystemModel()
+    results: dict[str, dict[str, WorkloadRun]] = {}
+    for workload in paper_workloads():
+        results[workload.name] = model.run_all(workload)
+    return results
+
+
+def workload_names() -> list[str]:
+    return ["image_blur", "vgg16_fc", "resnet50_conv3", "jpeg",
+            "rotation3d"]
+
+
+def configurations() -> tuple[str, ...]:
+    return CONFIGURATIONS

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A tiny CNN classified entirely through photonic matmuls.
+
+Builds a two-layer network — 3x3 depthwise conv + ReLU + fully-connected
+readout — with synthetic weights trained-by-construction to separate two
+pattern classes (horizontal vs vertical stripes).  Every multiply runs
+through :class:`BlockMatmul` SVD circuits, optionally with the 8-bit
+analog chain, and the classification accuracy is compared against the
+float reference — the DNN-inference story of Section 1 in miniature.
+
+Run:  python examples/mini_cnn_inference.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.accelerator import BlockMatmul, conv2d_as_matmul
+from repro.photonics.noise import AnalogMVM
+
+IMAGE = 12
+CLASSES = ("horizontal", "vertical")
+
+
+def make_dataset(n: int = 60, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for i in range(n):
+        label = i % 2
+        img = rng.normal(0.0, 0.15, (IMAGE, IMAGE))
+        stripe = rng.integers(1, IMAGE - 1)
+        if label == 0:  # horizontal
+            img[stripe, :] += 1.0
+        else:           # vertical
+            img[:, stripe] += 1.0
+        xs.append(img)
+        ys.append(label)
+    return np.array(xs), np.array(ys)
+
+
+def make_network():
+    """Hand-constructed edge detectors + readout."""
+    kernels = np.zeros((2, 3, 3))
+    kernels[0] = [[-1, -1, -1], [2, 2, 2], [-1, -1, -1]]  # horizontal
+    kernels[1] = [[-1, 2, -1], [-1, 2, -1], [-1, 2, -1]]  # vertical
+    feat = 2 * (IMAGE - 2) * (IMAGE - 2)
+    readout = np.zeros((2, feat))
+    half = feat // 2
+    readout[0, :half] = 1.0 / half
+    readout[1, half:] = 1.0 / half
+    return kernels, readout
+
+
+def forward(images, kernels, readout, matmul_factory):
+    """Run the network; matmul_factory builds the multiply engine."""
+    preds = []
+    weights, _, (oh, ow) = conv2d_as_matmul(images[0], kernels)
+    conv_engine = matmul_factory(weights)
+    read_engine = matmul_factory(readout)
+    for img in images:
+        _, cols, _ = conv2d_as_matmul(img, kernels)
+        fmap = conv_engine(cols)                    # photonic conv
+        fmap = np.maximum(fmap, 0.0)                # ReLU on the cores
+        logits = read_engine(fmap.reshape(-1))      # photonic FC
+        preds.append(int(np.argmax(logits)))
+    return np.array(preds)
+
+
+def main() -> None:
+    xs, ys = make_dataset()
+    kernels, readout = make_network()
+
+    def exact_factory(weight):
+        return BlockMatmul(weight, mzim_size=8)
+
+    def analog_factory(weight):
+        engine = BlockMatmul(weight, mzim_size=8)
+        rng = np.random.default_rng(9)
+
+        def run(batch):
+            return engine(batch, mvm=lambda p, w: AnalogMVM(
+                p, bits=8, rng=rng)(w))
+
+        return run
+
+    rows = []
+    for label, factory in [("float reference",
+                            lambda w: (lambda b: w @ b)),
+                           ("ideal MZIM", exact_factory),
+                           ("8-bit analog MZIM", analog_factory)]:
+        preds = forward(xs, kernels, readout, factory)
+        acc = float((preds == ys).mean())
+        rows.append([label, f"{100 * acc:.1f}%"])
+    print(f"dataset: {len(xs)} {IMAGE}x{IMAGE} images, "
+          f"classes = {CLASSES}")
+    print(format_table(["inference engine", "accuracy"], rows,
+                       title="Mini CNN through the photonic interconnect"))
+    print("\nConv + FC multiplies run in SVD MZIM circuits; ReLU and "
+          "argmax stay on the cores — the paper's division of labour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline numbers in one run (~2 minutes).
+
+Runs the five workloads at paper shapes through all five configurations
+and prints the Figure 13/14/15 summaries next to the paper's values.
+For the full per-figure detail use the benchmark suite:
+``pytest benchmarks/ --benchmark-only -s``.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro.analysis.metrics import (
+    edp_reduction,
+    energy_reduction,
+    geomean,
+    speedup,
+)
+from repro.analysis.report import format_table
+from repro.core.system import SystemModel
+from repro.workloads import paper_workloads
+
+PAPER = {  # speedup, energy, EDP vs Mesh
+    "image_blur": (3.3, 1.5, 5.1),
+    "vgg16_fc": (2.0, 1.9, 3.9),
+    "resnet50_conv3": (4.5, 2.9, 13.0),
+    "jpeg": (4.0, 2.6, 10.5),
+    "rotation3d": (5.2, 4.8, 25.2),
+}
+PAPER_GEOMEAN = (3.6, 2.5, 9.3)
+
+
+def main() -> None:
+    model = SystemModel()
+    rows = []
+    speedups, energies, edps = [], [], []
+    start = time.time()
+    for workload in paper_workloads():
+        t0 = time.time()
+        runs = model.run_all(workload)
+        mesh, fa = runs["mesh"], runs["flumen_a"]
+        s = speedup(mesh, fa)
+        e = energy_reduction(mesh, fa)
+        d = edp_reduction(mesh, fa)
+        speedups.append(s)
+        energies.append(e)
+        edps.append(d)
+        ps, pe, pd = PAPER[workload.name]
+        rows.append([workload.name,
+                     f"{s:.2f}x", f"{ps}x",
+                     f"{e:.2f}x", f"{pe}x",
+                     f"{d:.1f}x", f"{pd}x",
+                     f"{time.time() - t0:.0f}s"])
+    rows.append(["GEOMEAN",
+                 f"{geomean(speedups):.2f}x", f"{PAPER_GEOMEAN[0]}x",
+                 f"{geomean(energies):.2f}x", f"{PAPER_GEOMEAN[1]}x",
+                 f"{geomean(edps):.1f}x", f"{PAPER_GEOMEAN[2]}x", ""])
+    print(format_table(
+        ["workload", "speedup", "(paper)", "energy", "(paper)",
+         "EDP", "(paper)", "sim"],
+        rows,
+        title="Flumen-A vs electrical Mesh (Figures 13, 14, 15)"))
+    print(f"\ntotal simulation time: {time.time() - start:.0f}s")
+    print("Full figure-by-figure reproduction: "
+          "pytest benchmarks/ --benchmark-only -s")
+
+
+if __name__ == "__main__":
+    main()

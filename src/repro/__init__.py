@@ -1,0 +1,45 @@
+"""Flumen: dynamic processing in the photonic interconnect — reproduction.
+
+A full-system reproduction of the ISCA 2023 paper: a dual-purpose photonic
+network-on-package that communicates between chiplets and, when network load
+is low, computes linear algebra inside the interconnect.
+
+Subpackages
+-----------
+``repro.photonics``
+    MZI/MZIM transfer-matrix models, Clements decomposition, the Flumen
+    fabric with its attenuator column and dynamic partitions, and the
+    optical loss/power/noise models.
+``repro.noc``
+    Cycle-accurate network-on-package simulator: electrical ring/mesh
+    wormhole routers, the shared optical bus, and the Flumen MZIM crossbar
+    with wavefront arbitration.
+``repro.core``
+    The paper's contribution: the MZIM control unit, the Algorithm 1
+    scheduler, the compute-offload mapping (block matmul, im2col), and the
+    end-to-end system model.
+``repro.multicore``
+    Sniper/McPAT substitute: cache hierarchy, core throughput, per-component
+    energy and area accounting.
+``repro.workloads``
+    The five evaluated applications, with golden NumPy references.
+``repro.analysis``
+    Speedup/EDP metrics, sweeps, and paper-style report rendering.
+"""
+
+from repro.config import (
+    DEFAULT_DEVICES,
+    DEFAULT_SYSTEM,
+    DeviceParams,
+    SystemConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_DEVICES",
+    "DEFAULT_SYSTEM",
+    "DeviceParams",
+    "SystemConfig",
+    "__version__",
+]

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library inventory: configuration, fabric structure, workload shapes.
+``latency``
+    Figure 11-style latency/load table for one topology + pattern.
+``compute``
+    Figure 12(b)-style photonic-vs-electrical compute energy table.
+``system``
+    Run one workload through all five configurations (Figures 13-15 row).
+``area``
+    Section 5.1 area report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.config import DEFAULT_SYSTEM
+    from repro.multicore.area import flumen_mzim_mzis
+    from repro.workloads import paper_workloads
+
+    cfg = DEFAULT_SYSTEM
+    print(format_table(
+        ["quantity", "value"],
+        [["cores", cfg.core.count],
+         ["chiplets", cfg.chiplets],
+         ["MZIM ports", cfg.mzim_ports],
+         ["MZIM MZIs", flumen_mzim_mzis(cfg.mzim_ports)],
+         ["photonic link", f"{cfg.phot_link.bandwidth_bps / 1e9:.0f} Gbps"],
+         ["compute wavelengths", cfg.compute.computation_wavelengths],
+         ["scheduler (tau, eta, zeta)",
+          f"({cfg.scheduler.tau_cycles}, {cfg.scheduler.eta}, "
+          f"{cfg.scheduler.zeta})"]],
+        title="Flumen reproduction — system configuration"))
+    rows = [[wl.name, f"{wl.total_macs():,}",
+             len(wl.phases()), f"{wl.extra_core_ops():,}"]
+            for wl in paper_workloads()]
+    print()
+    print(format_table(["workload", "MACs", "phases", "core-side ops"],
+                       rows, title="Workloads (paper shapes)"))
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.noc.simulation import SweepConfig, load_sweep
+
+    cfg = SweepConfig(cycles=args.cycles, warmup=args.cycles // 3)
+    loads = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    results = load_sweep(args.topology, args.pattern, loads, cfg)
+    rows = [[r.load, f"{r.avg_latency:.1f}", f"{r.latency.p99:.1f}",
+             "saturated" if r.saturated else ""] for r in results]
+    print(format_table(
+        ["load", "avg latency", "p99", ""],
+        rows, title=f"{args.topology} / {args.pattern}"))
+    return 0
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.photonics.compute_energy import MZIMComputeModel
+
+    model = MZIMComputeModel()
+    rows = []
+    for n in (8, 16, 32, 64):
+        for m in (1, 4, 8):
+            phot = model.matmul_energy(n, m).total
+            elec = model.electrical_matmul_energy(n, m)
+            rows.append([f"{n}x{n}", m, f"{phot * 1e12:.1f}",
+                         f"{elec * 1e12:.1f}", f"{elec / phot:.1f}x"])
+    print(format_table(
+        ["MZIM", "vectors", "photonic (pJ)", "electrical (pJ)",
+         "advantage"],
+        rows, title="Compute energy (Figure 12b model)"))
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.core.system import SystemModel
+    from repro.workloads import paper_workloads
+
+    workloads = {wl.name: wl for wl in paper_workloads()}
+    if args.workload not in workloads:
+        print(f"unknown workload {args.workload!r}; "
+              f"choose from {sorted(workloads)}", file=sys.stderr)
+        return 2
+    runs = SystemModel().run_all(workloads[args.workload])
+    rows = [[cfg, f"{r.runtime_s * 1e6:.1f}",
+             f"{r.energy.total * 1e6:.1f}", f"{r.edp * 1e9:.3f}"]
+            for cfg, r in runs.items()]
+    print(format_table(
+        ["config", "runtime (us)", "energy (uJ)", "EDP (nJ*s)"],
+        rows, title=f"System model: {args.workload}"))
+    mesh, fa = runs["mesh"], runs["flumen_a"]
+    print(f"\nFlumen-A vs Mesh: {mesh.runtime_s / fa.runtime_s:.2f}x "
+          f"speedup, {mesh.energy.total / fa.energy.total:.2f}x energy, "
+          f"{mesh.edp / fa.edp:.2f}x EDP")
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.multicore.area import AreaModel
+
+    area = AreaModel()
+    print(format_table(
+        ["component", "mm^2"],
+        [["Flumen endpoint", f"{area.flumen_endpoint().total:.2f}"],
+         ["8x8 MZIM + controller",
+          f"{area.mzim_with_controller():.2f}"],
+         ["Flumen system", f"{area.flumen_system().total:.1f}"],
+         ["Mesh system", f"{area.mesh_system().total:.1f}"]],
+        title="Area (Section 5.1)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Flumen (ISCA 2023) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="configuration + workload inventory")
+
+    lat = sub.add_parser("latency", help="latency vs load (Figure 11)")
+    lat.add_argument("--topology", default="flumen",
+                     choices=["ring", "mesh", "optbus", "flumen"])
+    lat.add_argument("--pattern", default="uniform")
+    lat.add_argument("--cycles", type=int, default=2000)
+
+    sub.add_parser("compute", help="compute energy table (Figure 12b)")
+
+    system = sub.add_parser("system",
+                            help="full-system run (Figures 13-15)")
+    system.add_argument("--workload", default="rotation3d")
+
+    sub.add_parser("area", help="area report (Section 5.1)")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "latency": _cmd_latency,
+        "compute": _cmd_compute,
+        "system": _cmd_system,
+        "area": _cmd_area,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""Metrics, sweeps, exports, and paper-style reporting."""
+
+from repro.analysis.export import (
+    runs_to_records,
+    sweep_to_records,
+    to_csv,
+    to_json,
+    write_records,
+)
+from repro.analysis.metrics import (
+    edp_reduction,
+    energy_reduction,
+    geomean,
+    percent_reduction,
+    reductions_vs,
+    speedup,
+)
+from repro.analysis.report import (
+    ascii_chart,
+    format_ratio,
+    format_table,
+)
+from repro.analysis.sweep import SweepPoint, best_of, knee_of, sweep
+
+__all__ = [
+    "SweepPoint",
+    "ascii_chart",
+    "best_of",
+    "edp_reduction",
+    "energy_reduction",
+    "format_ratio",
+    "format_table",
+    "geomean",
+    "knee_of",
+    "percent_reduction",
+    "reductions_vs",
+    "runs_to_records",
+    "speedup",
+    "sweep",
+    "sweep_to_records",
+    "to_csv",
+    "to_json",
+    "write_records",
+]

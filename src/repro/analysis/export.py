@@ -1,0 +1,80 @@
+"""Export experiment results to CSV / JSON for downstream plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Mapping, Sequence
+
+from repro.core.system import WorkloadRun
+from repro.noc.stats import SimulationResult
+
+
+def runs_to_records(runs: Mapping[str, Mapping[str, WorkloadRun]]
+                    ) -> list[dict]:
+    """Flatten {workload: {configuration: run}} into record dicts."""
+    records = []
+    for workload, by_cfg in runs.items():
+        for cfg, run in by_cfg.items():
+            rec = {
+                "workload": workload,
+                "configuration": cfg,
+                "runtime_s": run.runtime_s,
+                "edp_js": run.edp,
+                "offloaded_macs": run.offloaded_macs,
+                "avg_packet_latency": run.avg_packet_latency,
+            }
+            for component, joules in run.energy.as_dict().items():
+                rec[f"energy_{component}_j"] = joules
+            rec["energy_total_j"] = run.energy.total
+            records.append(rec)
+    return records
+
+
+def sweep_to_records(results: Sequence[SimulationResult]) -> list[dict]:
+    """Flatten latency-sweep results (Figure 11 series)."""
+    return [{
+        "topology": r.topology,
+        "pattern": r.pattern,
+        "load": r.load,
+        "avg_latency": r.avg_latency,
+        "p99_latency": r.latency.p99,
+        "saturated": r.saturated,
+        "injected_packets": r.injected_packets,
+    } for r in results]
+
+
+def to_csv(records: Sequence[Mapping]) -> str:
+    """Render records as CSV text (stable column order)."""
+    if not records:
+        return ""
+    columns: list[str] = []
+    for rec in records:
+        for key in rec:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=columns)
+    writer.writeheader()
+    for rec in records:
+        writer.writerow(rec)
+    return out.getvalue()
+
+
+def to_json(records: Sequence[Mapping], indent: int = 2) -> str:
+    """Render records as JSON text."""
+    return json.dumps(list(records), indent=indent, sort_keys=True)
+
+
+def write_records(records: Sequence[Mapping], path: str) -> None:
+    """Write records to ``path``; format chosen by extension."""
+    if path.endswith(".csv"):
+        text = to_csv(records)
+    elif path.endswith(".json"):
+        text = to_json(records)
+    else:
+        raise ValueError(f"unsupported extension on {path!r}; "
+                         f"use .csv or .json")
+    with open(path, "w") as handle:
+        handle.write(text)

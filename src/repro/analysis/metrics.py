@@ -1,0 +1,51 @@
+"""Evaluation metrics: speedup, energy reduction, EDP, geometric means."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from repro.core.system import WorkloadRun
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper's aggregate for Figures 13-15."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline: WorkloadRun, candidate: WorkloadRun) -> float:
+    """Runtime ratio: how much faster ``candidate`` is."""
+    return baseline.runtime_s / candidate.runtime_s
+
+
+def energy_reduction(baseline: WorkloadRun, candidate: WorkloadRun) -> float:
+    """Energy ratio: how much less energy ``candidate`` burns."""
+    return baseline.energy.total / candidate.energy.total
+
+
+def edp_reduction(baseline: WorkloadRun, candidate: WorkloadRun) -> float:
+    """Energy-delay-product ratio (Figure 15)."""
+    return baseline.edp / candidate.edp
+
+
+def reductions_vs(runs: Mapping[str, WorkloadRun], baseline: str,
+                  candidate: str = "flumen_a") -> dict[str, float]:
+    """All three ratios of ``candidate`` against one baseline config."""
+    base, cand = runs[baseline], runs[candidate]
+    return {
+        "speedup": speedup(base, cand),
+        "energy": energy_reduction(base, cand),
+        "edp": edp_reduction(base, cand),
+    }
+
+
+def percent_reduction(baseline: float, value: float) -> float:
+    """'X% reduction' as the paper phrases Section 5.2 comparisons."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (1.0 - value / baseline)

@@ -1,0 +1,84 @@
+"""Paper-style text rendering: tables and ASCII charts for benches/examples."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + \
+        [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row):
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in cells[1:])
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_chart(series: Mapping[str, Sequence[tuple[float, float]]],
+                width: int = 64, height: int = 16,
+                title: str | None = None,
+                log_y: bool = False) -> str:
+    """Plot (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a distinct marker; used by the examples and benches
+    to visualize latency-load curves without plotting dependencies.
+    """
+    import math
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [math.log10(max(p[1], 1e-12)) if log_y else p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        legend.append(f"{mark} {name}")
+        for x, y in pts:
+            yy = math.log10(max(y, 1e-12)) if log_y else y
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((yy - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{10**y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    bot = f"{10**y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    lines.append(f"y: {bot} .. {top}" + ("  (log scale)" if log_y else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_lo:.3g} .. {x_hi:.3g}")
+    lines.append("   ".join(legend))
+    return "\n".join(lines)
+
+
+def format_ratio(value: float) -> str:
+    """Render a comparison factor the way the paper does: '2.5x'."""
+    return f"{value:.1f}x"

@@ -1,0 +1,49 @@
+"""Generic parameter-sweep helpers for sensitivity studies.
+
+Used by the Algorithm 1 sensitivity bench (tau / eta / zeta, Section 3.4)
+and the ablation benches DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated parameter setting."""
+
+    parameter: str
+    value: float
+    metrics: dict[str, float]
+
+
+def sweep(parameter: str, values: Iterable[float],
+          evaluate: Callable[[float], dict[str, float]]) -> list[SweepPoint]:
+    """Evaluate ``evaluate(value)`` over a parameter range."""
+    return [SweepPoint(parameter, v, evaluate(v)) for v in values]
+
+
+def knee_of(points: list[SweepPoint], metric: str,
+            drop_fraction: float = 0.5) -> float | None:
+    """First parameter value where a metric falls below a fraction of its
+    peak — how Section 3.4 locates tau > 170's service collapse."""
+    if not points:
+        return None
+    peak = max(p.metrics[metric] for p in points)
+    if peak <= 0:
+        return None
+    for p in points:
+        if p.metrics[metric] < drop_fraction * peak:
+            return p.value
+    return None
+
+
+def best_of(points: list[SweepPoint], metric: str,
+            minimize: bool = False) -> SweepPoint:
+    """Parameter setting optimizing one metric."""
+    if not points:
+        raise ValueError("no sweep points")
+    key = (lambda p: p.metrics[metric])
+    return min(points, key=key) if minimize else max(points, key=key)

@@ -1,0 +1,145 @@
+"""The MZIM control unit (Section 3.4, Figure 8).
+
+Owns the photonic fabric's request buffers, the compute-request queue, the
+matrix memory holding precomputed phase mappings, and the arbitration
+waveguide through which chiplets talk to the controller.  Communication
+arbitration itself (the wavefront arbiter) lives in
+:class:`repro.noc.flumen_net.FlumenNetwork`; this class layers the
+compute-side state on top and exposes the utilization feedback nodes use to
+decide between offloading and computing locally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.accelerator import BlockMatmul, OffloadPlan
+from repro.noc.flumen_net import FlumenNetwork
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class ComputeRequest:
+    """One node's request to run a matmul job in the interconnect."""
+
+    node: int
+    plan: OffloadPlan
+    matrix_key: str
+    submit_cycle: int
+    #: Fabric ports the partition needs (even, >= 2).
+    ports_needed: int = 4
+    #: Optional explicit partition hold time in cycles; when None the
+    #: scheduler derives it from the plan (Table 1 timings).
+    duration_override: int | None = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __post_init__(self) -> None:
+        if self.ports_needed < 2 or self.ports_needed % 2:
+            raise ValueError(
+                f"partition needs an even port count >= 2, "
+                f"got {self.ports_needed}")
+
+
+class MatrixMemory:
+    """Local memory holding precomputed MZIM phase mappings (Section 3.3.3).
+
+    Phase programming is expensive at runtime, so matrices are decomposed
+    ahead of time and the controller only streams stored phases to the
+    DACs.  Capacity is counted in stored ``N x N`` blocks.
+    """
+
+    def __init__(self, capacity_blocks: int = 256) -> None:
+        self.capacity_blocks = capacity_blocks
+        self._entries: dict[str, BlockMatmul] = {}
+        self._lru: deque[str] = deque()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def blocks_used(self) -> int:
+        return sum(len(e.programs) for e in self._entries.values())
+
+    def store(self, key: str, matmul: BlockMatmul) -> None:
+        """Insert a precomputed block program set, evicting LRU entries."""
+        if len(matmul.programs) > self.capacity_blocks:
+            raise ValueError(
+                f"matrix needs {len(matmul.programs)} blocks; memory holds "
+                f"{self.capacity_blocks}")
+        if key in self._entries:
+            self._lru.remove(key)
+        self._entries[key] = matmul
+        self._lru.append(key)
+        while self.blocks_used() > self.capacity_blocks:
+            victim = self._lru.popleft()
+            del self._entries[victim]
+
+    def get(self, key: str) -> BlockMatmul:
+        if key not in self._entries:
+            raise KeyError(f"matrix {key!r} not in MZIM matrix memory")
+        self._lru.remove(key)
+        self._lru.append(key)
+        return self._entries[key]
+
+
+class MZIMControlUnit:
+    """Compute-side brain of the Flumen fabric."""
+
+    def __init__(self, network: FlumenNetwork,
+                 system: SystemConfig | None = None,
+                 matrix_memory_blocks: int = 256,
+                 arbitration_latency_cycles: int = 2) -> None:
+        self.network = network
+        self.system = system or SystemConfig()
+        #: Single buffer of compute requests per network edge (Figure 8);
+        #: we model the merged queue the Partitioner scans.
+        self.compute_buffer: deque[ComputeRequest] = deque()
+        self.matrix_memory = MatrixMemory(matrix_memory_blocks)
+        #: Cycles for a request/notification to cross the arbitration
+        #: waveguide.
+        self.arbitration_latency_cycles = arbitration_latency_cycles
+        self.requests_received = 0
+
+    @property
+    def fabric_ports(self) -> int:
+        """MZIM port count (8 for the 16-chiplet system, Section 5.1)."""
+        return self.system.mzim_ports
+
+    @property
+    def endpoints_per_port(self) -> int:
+        """Network endpoints sharing one MZIM port."""
+        return max(1, self.network.nodes // self.fabric_ports)
+
+    def port_range_endpoints(self, lo_port: int, hi_port: int) -> set[int]:
+        """Network endpoints covered by fabric ports ``[lo_port, hi_port)``."""
+        k = self.endpoints_per_port
+        return set(range(lo_port * k, hi_port * k))
+
+    def submit(self, request: ComputeRequest, cycle: int) -> None:
+        """Accept a compute request over the arbitration waveguide."""
+        if request.ports_needed > self.fabric_ports:
+            raise ValueError(
+                f"request wants {request.ports_needed} ports; fabric has "
+                f"{self.fabric_ports}")
+        if request.matrix_key not in self.matrix_memory:
+            raise KeyError(
+                f"matrix {request.matrix_key!r} must be preloaded into "
+                f"matrix memory before requesting compute (Section 3.3.3)")
+        self.compute_buffer.append(request)
+        self.requests_received += 1
+
+    def network_utilization(self, scan_depth: float | None = None) -> float:
+        """Utilization feedback broadcast to the chiplets (Section 3.4)."""
+        zeta = self.system.scheduler.zeta if scan_depth is None else scan_depth
+        return self.network.buffer_utilization(scan_depth=zeta)
+
+    def advise_offload(self, utilization_ceiling: float = 0.8) -> bool:
+        """Node-side admission hint: offload only when the network is calm.
+
+        "nodes will not request compute access if the network utilization
+        conveyed to them by the MZIM control unit is too high" (Section 3.4).
+        """
+        return self.network_utilization() < utilization_ceiling

@@ -1,0 +1,93 @@
+"""Node-side offload decision policy (Section 3.4).
+
+"To prevent excessive compute kernel stalling, nodes will not request
+compute access if the network utilization conveyed to them by the MZIM
+control unit is too high, and instead will compute locally."
+
+:class:`OffloadPolicy` encapsulates that decision: given the controller's
+utilization broadcast and a job's shape, decide between requesting a
+fabric partition and running on the local cores, estimating both
+latencies from the same models the system simulator uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.accelerator import OffloadPlan, plan_offload
+from repro.core.scheduler import compute_duration_cycles
+from repro.multicore.cpu import CoreModel
+
+
+class Decision(enum.Enum):
+    OFFLOAD = "offload"
+    LOCAL = "local"
+
+
+@dataclass
+class OffloadPolicy:
+    """Pick offload vs local execution for a matmul job."""
+
+    system: SystemConfig = field(default_factory=SystemConfig)
+    #: Utilization broadcast above which nodes never request (Section
+    #: 3.4's "too high").
+    utilization_ceiling: float = 0.8
+    #: Expected wait for a partition grant: half an evaluation period.
+    expected_grant_wait_cycles: float | None = None
+    #: Cores available locally (one chiplet's worth by default).
+    local_cores: int = 4
+
+    def __post_init__(self) -> None:
+        if self.expected_grant_wait_cycles is None:
+            self.expected_grant_wait_cycles = \
+                self.system.scheduler.tau_cycles / 2.0
+
+    def local_cycles(self, plan: OffloadPlan) -> float:
+        """Latency of running the job on the local cores."""
+        core = CoreModel(self.system.core)
+        cost = core.phase_cost(plan.macs_offloaded, 0, None, None,
+                               self.local_cores)
+        return cost.total_cycles
+
+    def offload_cycles(self, plan: OffloadPlan) -> float:
+        """Latency of the photonic path including expected grant wait."""
+        return (self.expected_grant_wait_cycles
+                + compute_duration_cycles(plan, self.system))
+
+    def decide(self, rows: int, cols: int, vectors: int,
+               network_utilization: float) -> Decision:
+        """The node's decision for one pending matmul job."""
+        if not 0.0 <= network_utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in [0, 1], got {network_utilization}")
+        if network_utilization >= self.utilization_ceiling:
+            return Decision.LOCAL
+        plan = plan_offload(rows, cols, vectors,
+                            mzim_size=self.system.mzim_ports,
+                            wavelengths=self.system.compute
+                            .computation_wavelengths)
+        if self.offload_cycles(plan) < self.local_cycles(plan):
+            return Decision.OFFLOAD
+        return Decision.LOCAL
+
+    def break_even_vectors(self, rows: int, cols: int,
+                           max_vectors: int = 1 << 16) -> int | None:
+        """Smallest batch size at which offloading starts to win.
+
+        Returns ``None`` when local execution wins across the whole range
+        (tiny kernels never amortize the grant wait + programming).
+        """
+        lo, hi = 1, max_vectors
+        if self.decide(rows, cols, 1, 0.0) is Decision.OFFLOAD:
+            return 1
+        if self.decide(rows, cols, max_vectors, 0.0) is Decision.LOCAL:
+            return None
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.decide(rows, cols, mid, 0.0) is Decision.OFFLOAD:
+                hi = mid
+            else:
+                lo = mid
+        return hi

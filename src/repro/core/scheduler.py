@@ -1,0 +1,195 @@
+"""Algorithm 1: the Flumen scheduling process.
+
+``SchedulerMain`` loops over partition evaluation periods of ``tau``
+cycles.  At each period boundary the ``Partitioner`` scans the compute
+request buffer; a request is granted a compute partition when the request
+buffers of the nodes it would displace are under the utilization threshold
+``eta`` at scan depth ``zeta``.  Completed computations return their
+results through a many-to-one configuration and the partition rejoins the
+communication set.
+
+This module drives a :class:`~repro.noc.flumen_net.FlumenNetwork` (port
+blocking models the partition stealing fabric bandwidth) and accounts the
+compute timeline from the Table 1 parameters (6 ns programming, 5 GHz input
+modulation, WDM width).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.accelerator import OffloadPlan
+from repro.core.control_unit import ComputeRequest, MZIMControlUnit
+
+
+def compute_duration_cycles(plan: OffloadPlan,
+                            system: SystemConfig) -> int:
+    """Network cycles a compute partition holds the fabric for one job.
+
+    Phase programming per matrix switch (6 ns), one input-modulation cycle
+    per optical window (5 GHz against the 2.5 GHz network clock), and the
+    many-to-one result return (reconfiguration plus one flit per result
+    vector group).
+    """
+    freq = system.core.frequency_hz
+    program = math.ceil(system.compute.mzim_switch_delay_s * freq)
+    input_cycles = math.ceil(
+        plan.optical_windows * freq / system.compute.input_modulation_hz)
+    return_config = math.ceil(system.compute.comm_switch_delay_s * freq)
+    return_flits = plan.block_rows * math.ceil(
+        plan.vectors / plan.wavelengths)
+    return (plan.matrix_switches * program
+            + input_cycles
+            + return_config + return_flits)
+
+
+@dataclass
+class ActiveComputation:
+    """A compute partition currently holding fabric ports."""
+
+    request: ComputeRequest
+    lo_port: int
+    hi_port: int
+    total_cycles: int
+    remaining_cycles: int
+    started: bool = False
+    grant_cycle: int = 0
+    start_cycle: int = 0
+
+    @property
+    def ports(self) -> tuple[int, int]:
+        return self.lo_port, self.hi_port
+
+
+@dataclass
+class SchedulerStats:
+    granted: int = 0
+    completed: int = 0
+    deferred_evaluations: int = 0
+    total_wait_cycles: int = 0
+    total_drain_cycles: int = 0
+    busy_port_cycles: int = 0
+
+    @property
+    def average_wait(self) -> float:
+        return self.total_wait_cycles / self.granted if self.granted else 0.0
+
+
+class FlumenScheduler:
+    """SchedulerMain + Partitioner (Algorithm 1) over a Flumen network."""
+
+    def __init__(self, control_unit: MZIMControlUnit,
+                 system: SystemConfig | None = None) -> None:
+        self.control = control_unit
+        self.system = system or control_unit.system
+        self.cfg = self.system.scheduler
+        self.active: list[ActiveComputation] = []
+        self.stats = SchedulerStats()
+        self.cycle = 0
+        #: Completed request ids, with completion cycles (for callers).
+        self.completions: dict[int, int] = {}
+
+    # -- Algorithm 1, lines 19-28 ---------------------------------------
+
+    def _partitioner(self) -> None:
+        """Scan the compute buffer, granting partitions where buffers allow."""
+        network = self.control.network
+        remaining = []
+        for request in list(self.control.compute_buffer):
+            placement = self._find_ports(request.ports_needed)
+            if placement is None:
+                remaining.append(request)
+                self.stats.deferred_evaluations += 1
+                continue
+            lo, hi = placement
+            endpoints = self.control.port_range_endpoints(lo, hi)
+            beta = network.buffer_utilization(
+                sorted(endpoints), scan_depth=self.cfg.zeta)
+            if beta <= self.cfg.eta:
+                network.block_ports(endpoints)
+                duration = (request.duration_override
+                            if request.duration_override is not None
+                            else compute_duration_cycles(
+                                request.plan, self.system))
+                self.active.append(ActiveComputation(
+                    request=request, lo_port=lo, hi_port=hi,
+                    total_cycles=duration, remaining_cycles=duration,
+                    grant_cycle=self.cycle))
+                self.stats.granted += 1
+                self.stats.total_wait_cycles += \
+                    self.cycle - request.submit_cycle
+                self.control.compute_buffer.remove(request)
+            else:
+                remaining.append(request)
+                self.stats.deferred_evaluations += 1
+
+    def _find_ports(self, ports_needed: int) -> tuple[int, int] | None:
+        """First-fit contiguous free fabric port range."""
+        taken = [False] * self.control.fabric_ports
+        for comp in self.active:
+            for p in range(comp.lo_port, comp.hi_port):
+                taken[p] = True
+        run = 0
+        for p in range(self.control.fabric_ports):
+            run = run + 1 if not taken[p] else 0
+            if run == ports_needed:
+                return p - ports_needed + 1, p + 1
+        return None
+
+    # -- Algorithm 1, lines 1-18 -----------------------------------------
+
+    def tick(self) -> None:
+        """Advance the scheduler one network cycle.
+
+        The caller steps the underlying network itself; this method manages
+        the partition lifecycle around it.
+        """
+        # done(a) checks (lines 6-11).
+        network = self.control.network
+        still_active: list[ActiveComputation] = []
+        for comp in self.active:
+            endpoints = self.control.port_range_endpoints(*comp.ports)
+            if not comp.started:
+                if network.ports_clear(endpoints):
+                    comp.started = True
+                    comp.start_cycle = self.cycle
+                else:
+                    self.stats.total_drain_cycles += 1
+                    still_active.append(comp)
+                    continue
+            comp.remaining_cycles -= 1
+            self.stats.busy_port_cycles += comp.hi_port - comp.lo_port
+            if comp.remaining_cycles <= 0:
+                network.unblock_ports(endpoints)
+                self.stats.completed += 1
+                self.completions[comp.request.request_id] = self.cycle
+            else:
+                still_active.append(comp)
+        self.active = still_active
+
+        # Partition evaluation every tau cycles (lines 3-5).
+        if self.cycle % self.cfg.tau_cycles == 0:
+            self._partitioner()
+        self.cycle += 1
+
+    def run(self, cycles: int, traffic=None) -> None:
+        """Co-simulate scheduler + network for ``cycles`` cycles."""
+        network = self.control.network
+        for _ in range(cycles):
+            if traffic is not None:
+                for packet in traffic.packets_for_cycle(network.cycle):
+                    network.offer_packet(packet)
+            self.tick()
+            network.step()
+
+    def drain(self, max_cycles: int = 100_000) -> None:
+        """Run until all compute requests and packets complete."""
+        network = self.control.network
+        budget = max_cycles
+        while budget > 0 and (self.active or self.control.compute_buffer
+                              or not network.quiescent()):
+            self.tick()
+            network.step()
+            budget -= 1

@@ -1,0 +1,111 @@
+"""Area model (Section 5.1), 7 nm scaled.
+
+Calibrated to the paper's reported figures:
+
+* Flumen endpoint: 9.46 mm^2, of which 4.2% is the photonic transceiver;
+* 8x8 Flumen MZIM + controller: 11.2 mm^2 (MZIM alone 5.04 mm^2);
+* 64-core Flumen system: 162.6 mm^2 total;
+* electrical mesh system: 114.9 mm^2;
+* 64x64 MZIM: 291.20 mm^2 serving 128 chiplets of 1210.88 mm^2 combined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+
+#: Area of one MZI (including thermal isolation and routing), mm^2.
+#: Fits the paper's 64x64 MZIM figure: 291.2 mm^2 / 2080 MZIs.
+MZI_AREA_MM2 = 0.14
+#: Base chiplet area: 4 cores + L1/L2 + L3 slice, mm^2 (7 nm).
+CHIPLET_BASE_MM2 = 6.90
+#: One electrical mesh router + link drivers, mm^2.
+MESH_ROUTER_MM2 = 0.28
+#: Photonic transceiver (modulators, PDs, TIAs, SerDes): 4.2% of the
+#: 9.46 mm^2 Flumen endpoint.
+TRANSCEIVER_MM2 = 0.40
+#: Compute-path converters (DACs/ADCs) at each Flumen endpoint.
+CONVERTERS_MM2 = 2.16
+#: MZIM control unit (buffers, matrix memory, arbiters, DAC array).
+CONTROLLER_MM2 = 6.16
+
+
+def flumen_mzim_mzis(ports: int) -> int:
+    """MZIs in an N-port Flumen fabric: N(N-1)/2 mesh + N attenuators."""
+    return ports * (ports - 1) // 2 + ports
+
+
+@dataclass
+class AreaReport:
+    """Per-component areas in mm^2."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def __getitem__(self, key: str) -> float:
+        return self.components[key]
+
+
+class AreaModel:
+    """Assembles system areas from device constants."""
+
+    def __init__(self, system: SystemConfig | None = None) -> None:
+        self.system = system or SystemConfig()
+
+    def flumen_endpoint(self) -> AreaReport:
+        """One Flumen chiplet endpoint (Section 5.1: 9.46 mm^2)."""
+        return AreaReport({
+            "chiplet": CHIPLET_BASE_MM2,
+            "transceiver": TRANSCEIVER_MM2,
+            "converters": CONVERTERS_MM2,
+        })
+
+    def mesh_endpoint(self) -> AreaReport:
+        """One electrical-mesh chiplet endpoint."""
+        return AreaReport({
+            "chiplet": CHIPLET_BASE_MM2,
+            "router": MESH_ROUTER_MM2,
+        })
+
+    def mzim(self, ports: int | None = None) -> float:
+        """Interposer area of the Flumen MZIM fabric, mm^2."""
+        ports = ports if ports is not None else self.system.mzim_ports
+        return flumen_mzim_mzis(ports) * MZI_AREA_MM2
+
+    def mzim_with_controller(self, ports: int | None = None) -> float:
+        return self.mzim(ports) + CONTROLLER_MM2
+
+    def flumen_system(self) -> AreaReport:
+        """Full Flumen system (Section 5.1: 162.6 mm^2)."""
+        chiplets = self.system.chiplets
+        endpoint = self.flumen_endpoint().total
+        return AreaReport({
+            "endpoints": chiplets * endpoint,
+            "mzim": self.mzim(),
+            "controller": CONTROLLER_MM2,
+        })
+
+    def mesh_system(self) -> AreaReport:
+        """Electrical-mesh system (Section 5.1: 114.9 mm^2)."""
+        chiplets = self.system.chiplets
+        return AreaReport({
+            "endpoints": chiplets * self.mesh_endpoint().total,
+        })
+
+    def scaling_row(self, chiplets: int) -> dict[str, float]:
+        """Interposer-vs-chiplet scaling (Section 5.1's 128-chiplet point).
+
+        MZIM ports scale with chiplets/2; chiplet area scales linearly.
+        """
+        ports = chiplets // 2
+        return {
+            "chiplets": chiplets,
+            "mzim_mm2": self.mzim(ports),
+            "chiplet_mm2": chiplets * self.flumen_endpoint().total,
+            "mzim_fraction": self.mzim(ports)
+            / (chiplets * self.flumen_endpoint().total),
+        }

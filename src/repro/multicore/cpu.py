@@ -1,0 +1,71 @@
+"""Analytic out-of-order core throughput model (the Sniper substitute's
+compute side).
+
+Sniper models cores mechanistically (interval simulation); for the linear
+algebra kernels evaluated here the governing quantities are sustained MAC
+throughput, non-MAC instruction overhead, and exposed memory stalls.  The
+model composes those three, with memory-level parallelism hiding a
+configurable share of miss latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.config import CoreConfig
+from repro.multicore.cache import CacheHierarchy, HierarchyCounts
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Cycle cost of one execution phase on the core cluster."""
+
+    compute_cycles: float
+    stall_cycles: float
+    macs: int
+    other_ops: int
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.stall_cycles
+
+
+@dataclass
+class CoreModel:
+    """Throughput model for one core."""
+
+    config: CoreConfig = field(default_factory=CoreConfig)
+    #: Non-MAC instructions retired per MAC in scalar linear-algebra code
+    #: (loads, address arithmetic, loop control).
+    ops_per_mac: float = 2.0
+
+    def phase_cost(self, macs: int, other_ops: int,
+                   counts: HierarchyCounts | None,
+                   hierarchy: CacheHierarchy | None,
+                   parallel_cores: int = 1) -> PhaseCost:
+        """Cycles to execute a phase spread over ``parallel_cores`` cores."""
+        if parallel_cores < 1:
+            raise ValueError("need at least one core")
+        implicit_ops = int(macs * self.ops_per_mac)
+        issue_cycles = (macs / self.config.macs_per_cycle
+                        + (other_ops + implicit_ops) / 2.0)
+        stall = 0.0
+        if counts is not None and hierarchy is not None:
+            stall = hierarchy.stall_cycles(
+                counts, mlp=self.config.memory_level_parallelism)
+        return PhaseCost(
+            compute_cycles=issue_cycles / parallel_cores,
+            stall_cycles=stall / parallel_cores,
+            macs=macs,
+            other_ops=other_ops + implicit_ops,
+        )
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.config.frequency_hz
+
+    def macs_per_second(self, parallel_cores: int = 1) -> float:
+        """Sustained MAC rate including instruction overhead."""
+        cycles_per_mac = (1.0 / self.config.macs_per_cycle
+                          + self.ops_per_mac / 2.0)
+        return parallel_cores * self.config.frequency_hz / cycles_per_mac

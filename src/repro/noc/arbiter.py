@@ -1,0 +1,122 @@
+"""Arbiters: round-robin for router switch allocation, wavefront for the
+MZIM control unit's crossbar scheduling (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class RoundRobinArbiter:
+    """Classic rotating-priority arbiter over ``n`` requesters."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+        self._last = n - 1
+
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        """Return the granted requester index, or None when idle.
+
+        The winner becomes lowest priority for the next arbitration.
+        """
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines")
+        for offset in range(1, self.n + 1):
+            idx = (self._last + offset) % self.n
+            if requests[idx]:
+                self._last = idx
+                return idx
+        return None
+
+
+class WavefrontArbiter:
+    """Wavefront allocator for an ``n x n`` crossbar request matrix.
+
+    Computes a maximal matching between inputs and outputs in a single
+    combinational wave, rotating the priority diagonal every allocation for
+    fairness — the arbiter the MZIM control unit uses to build
+    communication maps (Section 3.4).
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("arbiter needs at least one port")
+        self.n = n
+        self._priority = 0
+
+    def allocate(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        """Grant a conflict-free subset of the request matrix.
+
+        ``requests[i, j]`` is truthy when input ``i`` wants output ``j``.
+        Returns granted ``(input, output)`` pairs.
+        """
+        req = np.asarray(requests, dtype=bool)
+        if req.shape != (self.n, self.n):
+            raise ValueError(f"expected {(self.n, self.n)} matrix, "
+                             f"got {req.shape}")
+        row_free = [True] * self.n
+        col_free = [True] * self.n
+        grants: list[tuple[int, int]] = []
+        for wave in range(self.n):
+            diag = (self._priority + wave) % self.n
+            for i in range(self.n):
+                j = (diag - i) % self.n
+                if req[i, j] and row_free[i] and col_free[j]:
+                    grants.append((i, j))
+                    row_free[i] = False
+                    col_free[j] = False
+        self._priority = (self._priority + 1) % self.n
+        return grants
+
+    def is_maximal(self, requests: np.ndarray,
+                   grants: list[tuple[int, int]]) -> bool:
+        """Check no further grant could be added (used by tests)."""
+        req = np.asarray(requests, dtype=bool)
+        rows = {i for i, _ in grants}
+        cols = {j for _, j in grants}
+        for i in range(self.n):
+            for j in range(self.n):
+                if req[i, j] and i not in rows and j not in cols:
+                    return False
+        return True
+
+
+class SeparableAllocator:
+    """Two-stage (input-first) separable allocator for switch allocation.
+
+    Stage 1: each input port picks one of its requesting VCs (round-robin).
+    Stage 2: each output port picks one requesting input (round-robin).
+    Standard input-queued router allocation (Booksim's ``sep_if``).
+    """
+
+    def __init__(self, inputs: int, outputs: int) -> None:
+        self.inputs = inputs
+        self.outputs = outputs
+        self._input_stage = [RoundRobinArbiter(outputs) for _ in range(inputs)]
+        self._output_stage = [RoundRobinArbiter(inputs) for _ in range(outputs)]
+
+    def allocate(self, requests: np.ndarray) -> list[tuple[int, int]]:
+        """Grant input->output pairs from a boolean request matrix."""
+        req = np.asarray(requests, dtype=bool)
+        if req.shape != (self.inputs, self.outputs):
+            raise ValueError("request matrix shape mismatch")
+        # Stage 1: per-input selection.
+        stage1 = np.zeros_like(req)
+        for i in range(self.inputs):
+            if req[i].any():
+                j = self._input_stage[i].grant(list(req[i]))
+                if j is not None:
+                    stage1[i, j] = True
+        # Stage 2: per-output selection.
+        grants: list[tuple[int, int]] = []
+        for j in range(self.outputs):
+            column = list(stage1[:, j])
+            if any(column):
+                i = self._output_stage[j].grant(column)
+                if i is not None:
+                    grants.append((i, j))
+        return grants

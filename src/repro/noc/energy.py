@@ -1,0 +1,124 @@
+"""Network energy accounting (Section 5.2, Figure 13's NoP component).
+
+Electrical topologies pay per-bit link energy (Table 1: 1.17 pJ/bit) plus a
+per-hop router overhead; photonic topologies pay per-bit transceiver energy
+(modulator/driver/thermal/TIA/SerDes) plus always-on laser power sized from
+their worst-case loss.  Flumen additionally carries the compute-path
+DAC/ADC static power even when only communicating — the overhead the paper
+calls out when comparing Flumen-I to a pure-communication MZIM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DeviceParams, SystemConfig
+from repro.noc.stats import SimulationResult
+from repro.photonics.power import (
+    flumen_worst_loss_db,
+    laser_power_w,
+    optbus_worst_loss_db,
+    photonic_link_energy,
+)
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one network run, split by mechanism (joules)."""
+
+    dynamic: float
+    laser_static: float
+    converter_static: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.laser_static + self.converter_static
+
+
+@dataclass
+class NetworkEnergyModel:
+    """Maps simulation counters to joules for each topology."""
+
+    system: SystemConfig = field(default_factory=SystemConfig)
+    devices: DeviceParams = field(default_factory=DeviceParams)
+    #: Phit width of electrical links: 800 Gb/s at a 2.5 GHz cycle.
+    elec_flit_bits: int = 320
+    #: Phit width of photonic links: 640 Gb/s (64 lambda) at 2.5 GHz.
+    phot_flit_bits: int = 256
+    #: Router datapath energy (buffers + crossbar + arbitration) per bit
+    #: per hop; NoP-class routers from the McPAT runs behind Table 1.
+    router_energy_j_per_bit: float = 0.30e-12
+    #: Wavelengths per OptBus receive waveguide (64 total over 16 buses
+    #: would be 4; kept explicit so loss scaling studies can sweep it).
+    optbus_wavelengths_per_bus: int = 4
+    #: Physical length of ring links relative to mesh links: a 16-node
+    #: ring laid over the 4x4 chiplet grid needs serpentine routing and a
+    #: long closing link, and electrical link energy scales with distance
+    #: (Section 1, [1]).
+    ring_link_length_factor: float = 2.0
+    #: Whether Flumen carries compute DAC/ADC static power (Flumen proper
+    #: does; a pure-communication MZIM does not — Section 5.2's 28% note).
+    include_compute_converters: bool = True
+
+    def cycle_seconds(self) -> float:
+        return 1.0 / self.system.core.frequency_hz
+
+    # -- per-topology accounting ------------------------------------------
+
+    def electrical(self, result: SimulationResult) -> EnergyReport:
+        bits = result.link_traversals * self.elec_flit_bits
+        hop_bits = result.flit_hops * self.elec_flit_bits
+        length = (self.ring_link_length_factor
+                  if result.topology == "ring" else 1.0)
+        dynamic = (bits * self.system.elec_link.energy_j_per_bit * length
+                   + hop_bits * self.router_energy_j_per_bit)
+        return EnergyReport(dynamic=dynamic, laser_static=0.0,
+                            converter_static=0.0)
+
+    def optbus(self, result: SimulationResult) -> EnergyReport:
+        nodes = 16
+        per_bus = self.optbus_wavelengths_per_bus
+        loss = optbus_worst_loss_db(nodes, per_bus, self.devices)
+        per_bit = photonic_link_energy(
+            per_bus, self.devices, worst_loss_db=loss)
+        bits = result.link_traversals * self.phot_flit_bits
+        dynamic = bits * (per_bit.total - per_bit.laser)
+        sim_s = result.cycles * self.cycle_seconds()
+        laser = laser_power_w(loss, per_bus * nodes, self.devices) * sim_s
+        return EnergyReport(dynamic=dynamic, laser_static=laser,
+                            converter_static=0.0)
+
+    def flumen(self, result: SimulationResult,
+               include_converters: bool | None = None) -> EnergyReport:
+        nodes = 16
+        wavelengths = self.system.phot_link.wavelengths
+        loss = flumen_worst_loss_db(nodes, wavelengths, self.devices)
+        per_bit = photonic_link_energy(
+            wavelengths, self.devices, worst_loss_db=loss)
+        bits = result.link_traversals * self.phot_flit_bits
+        dynamic = bits * (per_bit.total - per_bit.laser)
+        sim_s = result.cycles * self.cycle_seconds()
+        laser = laser_power_w(loss, wavelengths, self.devices) * sim_s
+        converters = 0.0
+        use_conv = self.include_compute_converters \
+            if include_converters is None else include_converters
+        if use_conv:
+            # Compute-path converters idle in comm mode: the per-port input
+            # DAC and output ADC of the compute datapath leak a fraction of
+            # their active power (clock gating leaves ~2% leakage).
+            conv = self.devices.converter
+            ports = self.system.mzim_ports
+            idle_w = 0.02 * ports * (conv.dac_power_w + conv.adc_power_w)
+            converters = idle_w * sim_s
+        return EnergyReport(dynamic=dynamic, laser_static=laser,
+                            converter_static=converters)
+
+    def of(self, result: SimulationResult) -> EnergyReport:
+        """Dispatch on the result's topology name."""
+        if result.topology in ("ring", "mesh"):
+            return self.electrical(result)
+        if result.topology == "optbus":
+            return self.optbus(result)
+        if result.topology == "flumen":
+            return self.flumen(result)
+        raise ValueError(f"unknown topology {result.topology!r}")

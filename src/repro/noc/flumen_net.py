@@ -1,0 +1,302 @@
+"""Flumen MZIM network model (Figure 10d): a non-blocking photonic crossbar.
+
+Endpoint requests are buffered at the MZIM control unit; a wavefront
+arbiter builds conflict-free communication maps each cycle (Section 3.4),
+granted circuits pay the 1 ns (~3 cycle) MZI phase-programming delay, then
+transfer one flit per cycle wavelength-parallel.
+
+Setup is *pipelined*: while a source's circuit drains its last flits, the
+control unit may pre-grant the source's next packet and program the (mode-
+disjoint) MZI phases concurrently, so back-to-back packets from a busy
+source do not serialize behind reconfiguration.
+
+Ports can be *blocked* to model compute partitions: the scheduler
+(:mod:`repro.core.scheduler`) reserves a contiguous port range, and traffic
+to or from those ports waits until the partition is released — the
+communication-blocking overhead quantified in Section 5.4.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.arbiter import WavefrontArbiter
+from repro.noc.packet import Packet
+from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
+
+#: 1 ns phase programming at a 2.5 GHz network clock (Section 4.1).
+DEFAULT_RECONFIG_CYCLES = 3
+
+
+@dataclass
+class _Circuit:
+    packet: Packet
+    setup_left: int
+    remaining_flits: int
+
+
+class FlumenNetwork:
+    """MZIM crossbar with wavefront arbitration and port blocking."""
+
+    name = "flumen"
+
+    def __init__(self, nodes: int,
+                 reconfig_cycles: int = DEFAULT_RECONFIG_CYCLES,
+                 propagation_delay: int = 1,
+                 request_buffer_capacity: int = 16,
+                 utilization_interval: int = 100,
+                 pipelined_setup: bool = True,
+                 arbitration: str = "wavefront") -> None:
+        if nodes < 2:
+            raise ValueError("need at least two nodes")
+        if arbitration not in ("wavefront", "sequential"):
+            raise ValueError(
+                f"arbitration must be 'wavefront' or 'sequential', "
+                f"got {arbitration!r}")
+        self.nodes = nodes
+        self.reconfig_cycles = reconfig_cycles
+        self.propagation_delay = propagation_delay
+        self.request_buffer_capacity = request_buffer_capacity
+        self.pipelined_setup = pipelined_setup
+        #: "wavefront" builds a maximal matching per cycle (Section 3.4);
+        #: "sequential" is the ablation baseline: one grant per cycle.
+        self.arbitration = arbitration
+        self._sequential_rr = 0
+        #: Per-endpoint request buffers in the MZIM control unit.
+        self.request_buffers: list[deque[Packet]] = [
+            deque() for _ in range(nodes)]
+        #: Overflow queues at the endpoints (buffers are finite).
+        self._overflow: list[deque[Packet]] = [deque() for _ in range(nodes)]
+        self._arbiter = WavefrontArbiter(nodes)
+        self._circuits: dict[int, _Circuit] = {}  # keyed by source port
+        #: Pre-granted next circuits whose setup overlaps the active one.
+        self._pending: dict[int, _Circuit] = {}
+        self._busy_outputs: set[int] = set()
+        self.blocked_ports: set[int] = set()
+        self.cycle = 0
+        self.latency = LatencyStats()
+        self.utilization = UtilizationTracker(
+            num_links=nodes, interval_cycles=utilization_interval)
+        self.injected_packets = 0
+        self.flit_hops = 0
+        self.link_traversals = 0
+        self.reconfigurations = 0
+
+    # -- scheduler hooks ---------------------------------------------------
+
+    def block_ports(self, ports: set[int]) -> None:
+        """Reserve ports for a compute partition (no comm grants touch them).
+
+        Active circuits on those ports finish first; the scheduler waits
+        for :meth:`ports_clear` before programming the partition.
+        """
+        self.blocked_ports |= set(ports)
+
+    def unblock_ports(self, ports: set[int]) -> None:
+        self.blocked_ports -= set(ports)
+
+    def ports_clear(self, ports: set[int]) -> bool:
+        """True when no circuit is transmitting on any of the given ports."""
+        for table in (self._circuits, self._pending):
+            for src, circuit in table.items():
+                if src in ports or any(d in ports for d in
+                                       circuit.packet.destinations):
+                    return False
+        return True
+
+    def buffer_occupancy(self, port: int) -> int:
+        """Packets waiting at one control-unit request buffer."""
+        return len(self.request_buffers[port]) + len(self._overflow[port])
+
+    def buffer_utilization(self, ports: list[int] | None = None,
+                           scan_depth: float = 1.0) -> float:
+        """Mean occupancy fraction over the most-utilized buffers.
+
+        ``scan_depth`` is the paper's zeta: the fraction of buffers
+        (most-utilized first) averaged.  A small zeta surfaces hot nodes a
+        global average would wash out (Section 3.4).
+        """
+        ports = list(range(self.nodes)) if ports is None else list(ports)
+        if not ports:
+            return 0.0
+        if not 0.0 < scan_depth <= 1.0:
+            raise ValueError(f"scan_depth must be in (0, 1], got {scan_depth}")
+        fracs = sorted(
+            (min(self.buffer_occupancy(p) / self.request_buffer_capacity, 1.0)
+             for p in ports),
+            reverse=True)
+        top = max(1, int(round(scan_depth * len(fracs))))
+        return float(np.mean(fracs[:top]))
+
+    # -- traffic -----------------------------------------------------------
+
+    def offer_packet(self, packet: Packet) -> None:
+        if len(self.request_buffers[packet.src]) \
+                < self.request_buffer_capacity:
+            self.request_buffers[packet.src].append(packet)
+        else:
+            self._overflow[packet.src].append(packet)
+        self.injected_packets += 1
+
+    def _refill_buffers(self) -> None:
+        for port in range(self.nodes):
+            buf, over = self.request_buffers[port], self._overflow[port]
+            while over and len(buf) < self.request_buffer_capacity:
+                buf.append(over.popleft())
+
+    # -- simulation ----------------------------------------------------------
+
+    def _eligible_source(self, src: int) -> bool:
+        """May ``src`` receive a (possibly pipelined) grant this cycle?"""
+        if src in self.blocked_ports or src in self._pending:
+            return False
+        circuit = self._circuits.get(src)
+        if circuit is None:
+            return True
+        return (self.pipelined_setup
+                and circuit.setup_left == 0
+                and circuit.remaining_flits <= self.reconfig_cycles)
+
+    def step(self) -> None:
+        busy = 0
+        # 1. Overlapped setups progress regardless of the active circuit.
+        for circuit in self._pending.values():
+            if circuit.setup_left > 0:
+                circuit.setup_left -= 1
+
+        # 2. Advance active circuits.
+        finished: list[int] = []
+        for src, circuit in self._circuits.items():
+            if circuit.setup_left > 0:
+                circuit.setup_left -= 1
+                continue
+            circuit.remaining_flits -= 1
+            busy += 1
+            self.flit_hops += 1
+            self.link_traversals += 1
+            if circuit.remaining_flits == 0:
+                self.latency.record(circuit.packet.create_cycle,
+                                    self.cycle + self.propagation_delay,
+                                    circuit.packet.size_flits)
+                finished.append(src)
+        for src in finished:
+            for dst in self._circuits[src].packet.destinations:
+                self._busy_outputs.discard(dst)
+            del self._circuits[src]
+            nxt = self._pending.pop(src, None)
+            if nxt is not None:
+                self._circuits[src] = nxt
+                self._busy_outputs.add(nxt.packet.dst)
+
+        # 3a. Physical multicast grants (splitting states, Section 3.2):
+        # a multicast head needs its source idle and every destination
+        # output free; it is granted outside the unicast matching.
+        for src, buf in enumerate(self.request_buffers):
+            if not buf or not buf[0].multicast_dsts:
+                continue
+            if src in self._circuits or src in self._pending \
+                    or src in self.blocked_ports:
+                continue
+            dsts = buf[0].multicast_dsts
+            if any(d in self._busy_outputs or d in self.blocked_ports
+                   for d in dsts):
+                continue
+            packet = buf.popleft()
+            self._circuits[src] = _Circuit(
+                packet=packet, setup_left=self.reconfig_cycles,
+                remaining_flits=packet.size_flits)
+            self._busy_outputs.update(dsts)
+            self.reconfigurations += 1
+
+        # 3b. Build the unicast request matrix from head-of-buffer packets.
+        requests = np.zeros((self.nodes, self.nodes), dtype=bool)
+        for src, buf in enumerate(self.request_buffers):
+            if not buf or buf[0].multicast_dsts \
+                    or not self._eligible_source(src):
+                continue
+            dst = buf[0].dst
+            if dst in self._busy_outputs or dst in self.blocked_ports:
+                # A source draining toward its tail may still target the
+                # output it itself occupies (back-to-back same-destination).
+                active = self._circuits.get(src)
+                if not (active is not None and active.packet.dst == dst):
+                    continue
+            if any(p.packet.dst == dst for p in self._pending.values()):
+                continue
+            requests[src, dst] = True
+
+        # 4. Allocation; winners set up circuits.
+        if self.arbitration == "wavefront":
+            grants = self._arbiter.allocate(requests)
+        else:  # sequential: one grant per cycle, rotating priority
+            grants = []
+            for offset in range(self.nodes):
+                src = (self._sequential_rr + offset) % self.nodes
+                row = np.flatnonzero(requests[src])
+                if row.size:
+                    grants = [(src, int(row[0]))]
+                    self._sequential_rr = (src + 1) % self.nodes
+                    break
+        for src, dst in grants:
+            packet = self.request_buffers[src].popleft()
+            assert packet.dst == dst
+            circuit = _Circuit(packet=packet,
+                               setup_left=self.reconfig_cycles,
+                               remaining_flits=packet.size_flits)
+            self.reconfigurations += 1
+            if src in self._circuits:
+                self._pending[src] = circuit
+                # Reserve the output now so no other grant races it before
+                # the pending circuit activates.
+                self._busy_outputs.add(dst)
+            else:
+                self._circuits[src] = circuit
+                self._busy_outputs.add(dst)
+
+        self._refill_buffers()
+        self.utilization.record_cycle(busy)
+        self.cycle += 1
+
+    def quiescent(self) -> bool:
+        return (not self._circuits and not self._pending
+                and all(not b for b in self.request_buffers)
+                and all(not o for o in self._overflow))
+
+    def total_queued_flits(self) -> int:
+        queued = sum(p.size_flits
+                     for q in self.request_buffers for p in q)
+        queued += sum(p.size_flits for q in self._overflow for p in q)
+        queued += sum(c.remaining_flits for c in self._circuits.values())
+        queued += sum(c.remaining_flits for c in self._pending.values())
+        return queued
+
+    def run(self, traffic, cycles: int, warmup: int = 0,
+            drain: bool = False, max_drain_cycles: int = 50_000) -> None:
+        self.latency.warmup_cycles = warmup
+        for _ in range(cycles):
+            for packet in traffic.packets_for_cycle(self.cycle):
+                self.offer_packet(packet)
+            self.step()
+        if drain:
+            budget = max_drain_cycles
+            while not self.quiescent() and budget > 0:
+                self.step()
+                budget -= 1
+        self.utilization.finish()
+
+    def result(self, pattern: str, load: float,
+               saturation_latency: float = 500.0) -> SimulationResult:
+        avg = self.latency.average
+        saturated = (avg == 0.0 and self.injected_packets > 0) \
+            or avg >= saturation_latency
+        return SimulationResult(
+            topology=self.name, pattern=pattern, load=load,
+            cycles=self.cycle, latency=self.latency,
+            utilization=self.utilization,
+            injected_packets=self.injected_packets,
+            flit_hops=self.flit_hops,
+            link_traversals=self.link_traversals,
+            saturated=saturated)

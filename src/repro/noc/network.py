@@ -1,0 +1,202 @@
+"""Cycle-driven wormhole network engine for router-based topologies.
+
+Ties together :class:`~repro.noc.router.Router`, a
+:class:`~repro.noc.topology.Topology`, a traffic source, and measurement.
+One call to :meth:`Network.step` advances the whole network one cycle:
+flits arrive from links, routers run their RC/VA/SA pipeline stages, winning
+flits traverse the switch, and credits flow back upstream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.noc.packet import Flit, Packet
+from repro.noc.router import Router
+from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
+from repro.noc.topology import LOCAL_PORT, Topology
+
+#: Effectively infinite credits for ejection ports.
+_EJECT_CREDITS = 10 ** 9
+
+
+class Network:
+    """A wormhole network over an arbitrary router topology."""
+
+    def __init__(self, topology: Topology, num_vcs: int = 2,
+                 buffer_depth: int = 8, utilization_interval: int = 100,
+                 router_pipeline_cycles: int = 2) -> None:
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        #: Extra per-hop cycles modelling the router pipeline depth beyond
+        #: the architectural RC/VA/SA stages (Booksim's 4-stage default).
+        self.router_pipeline_cycles = router_pipeline_cycles
+        self.routers = [
+            Router(r, topology.num_ports(r), num_vcs, buffer_depth)
+            for r in range(topology.num_routers)
+        ]
+        for router in self.routers:  # ejection never backpressures
+            router.credits[LOCAL_PORT] = [_EJECT_CREDITS] * num_vcs
+        #: Reverse link map: (router, in_port) -> (upstream router, out_port)
+        self._upstream: dict[tuple[int, int], tuple[int, int]] = {}
+        for r in range(topology.num_routers):
+            for p in range(1, topology.num_ports(r)):
+                nxt = topology.link(r, p)
+                if nxt is not None:
+                    self._upstream[nxt] = (r, p)
+        self.cycle = 0
+        self.source_queues: list[deque[Flit]] = [
+            deque() for _ in range(topology.nodes)]
+        #: Flits on links: [cycles until arrival, router, in_port, flit].
+        self._in_flight: list[list] = []
+        self.latency = LatencyStats()
+        self.utilization = UtilizationTracker(
+            num_links=max(topology.num_links(), 1),
+            interval_cycles=utilization_interval)
+        self.injected_packets = 0
+        self.flit_hops = 0
+        self.link_traversals = 0
+        self.ejected_flits = 0
+
+    # -- traffic ---------------------------------------------------------
+
+    def offer_packet(self, packet: Packet) -> None:
+        """Queue a packet at its source node."""
+        flits = packet.flits()
+        vc = self.topology.vc_class(packet.src, packet.dst) % self.num_vcs
+        for flit in flits:
+            flit.vc = vc
+        self.source_queues[packet.src].extend(flits)
+        self.injected_packets += 1
+
+    def _inject(self) -> None:
+        """Move at most one flit per node from source queue into the router."""
+        for node, queue in enumerate(self.source_queues):
+            if not queue:
+                continue
+            flit = queue[0]
+            router = self.routers[node]
+            if router.buffer_space(LOCAL_PORT, flit.vc) > 0:
+                # Heads may enter only if the VC is free of a previous packet.
+                state = router.inputs[LOCAL_PORT][flit.vc]
+                if flit.is_head and state.busy:
+                    continue
+                queue.popleft()
+                router.accept_flit(LOCAL_PORT, flit)
+
+    # -- simulation ------------------------------------------------------
+
+    def _allowed_vcs(self, flit: Flit) -> list[int]:
+        cls = self.topology.vc_class(flit.src, flit.dst) % self.num_vcs
+        if self.topology.name == "ring":
+            return [cls]
+        return list(range(self.num_vcs))
+
+    def step(self) -> None:
+        """Advance the network one cycle."""
+        # 1. Link arrivals whose delay has elapsed land now.
+        still_flying: list[list] = []
+        for entry in self._in_flight:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                self.routers[entry[1]].accept_flit(entry[2], entry[3])
+            else:
+                still_flying.append(entry)
+        self._in_flight = still_flying
+
+        # 2. Injection from source queues.
+        self._inject()
+
+        # 3. Router pipelines.
+        busy_links = 0
+        sends: list[list] = []
+        credits_back: list[tuple[int, int, int]] = []
+        for router in self.routers:
+            router.route_stage(self.topology.route)
+            router.vc_alloc_stage(self._allowed_vcs)
+            for in_port, in_vc in router.switch_alloc_stage():
+                flit, out_port, out_vc = router.traverse(in_port, in_vc)
+                self.flit_hops += 1
+                if in_port != LOCAL_PORT:
+                    up = self._upstream.get((router.router_id, in_port))
+                    if up is not None:
+                        credits_back.append((up[0], up[1], in_vc))
+                if out_port == LOCAL_PORT:
+                    self._eject(flit)
+                    continue
+                router.credits[out_port][out_vc] -= 1
+                nxt = self.topology.link(router.router_id, out_port)
+                if nxt is None:
+                    raise RuntimeError(
+                        f"router {router.router_id} routed {flit} off the "
+                        f"edge via port {out_port}")
+                flit.vc = out_vc
+                sends.append([1 + self.router_pipeline_cycles,
+                              nxt[0], nxt[1], flit])
+                busy_links += 1
+                self.link_traversals += 1
+
+        # 4. Apply credits and schedule link arrivals.
+        for router_id, out_port, vc in credits_back:
+            self.routers[router_id].credits[out_port][vc] += 1
+        self._in_flight.extend(sends)
+        self.utilization.record_cycle(busy_links)
+        self.cycle += 1
+
+    def _eject(self, flit: Flit) -> None:
+        self.ejected_flits += 1
+        if flit.is_tail:
+            self.latency.record(flit.packet.create_cycle, self.cycle,
+                                flit.packet.size_flits)
+
+    def run(self, traffic, cycles: int, warmup: int = 0,
+            drain: bool = False, max_drain_cycles: int = 50_000) -> None:
+        """Drive the network with a traffic source for ``cycles`` cycles.
+
+        ``traffic`` provides ``packets_for_cycle(cycle)``.  With ``drain``
+        the simulation continues (without new injection) until every
+        in-flight packet is delivered or the drain budget runs out.
+        """
+        self.latency.warmup_cycles = warmup
+        for _ in range(cycles):
+            for packet in traffic.packets_for_cycle(self.cycle):
+                self.offer_packet(packet)
+            self.step()
+        if drain:
+            budget = max_drain_cycles
+            while not self.quiescent() and budget > 0:
+                self.step()
+                budget -= 1
+        self.utilization.finish()
+
+    def quiescent(self) -> bool:
+        """True when no flit remains anywhere in the network."""
+        return (not self._in_flight
+                and all(not q for q in self.source_queues)
+                and all(r.idle() for r in self.routers))
+
+    def total_queued_flits(self) -> int:
+        return (sum(len(q) for q in self.source_queues)
+                + sum(r.occupancy() for r in self.routers)
+                + len(self._in_flight))
+
+    def result(self, pattern: str, load: float,
+               saturation_latency: float = 500.0) -> SimulationResult:
+        """Package measurement into a :class:`SimulationResult`."""
+        avg = self.latency.average
+        saturated = (avg == 0.0 and self.injected_packets > 0) \
+            or avg >= saturation_latency
+        return SimulationResult(
+            topology=self.topology.name,
+            pattern=pattern,
+            load=load,
+            cycles=self.cycle,
+            latency=self.latency,
+            utilization=self.utilization,
+            injected_packets=self.injected_packets,
+            flit_hops=self.flit_hops,
+            link_traversals=self.link_traversals,
+            saturated=saturated,
+        )

@@ -1,0 +1,140 @@
+"""Shared optical bus (OptBus) network model (Figure 10c, Section 4.1).
+
+Corona-style MWSR organization: every node owns a receive waveguide; all
+other nodes arbitrate (token-based) for write access to it.  The shared
+medium is the point of the baseline — multiple writers to one receiver
+serialize, which is where OptBus loses to Flumen's non-blocking fabric
+under adversarial patterns (Section 5.2).
+
+The model is packet-granular: a granted writer holds its destination bus
+for ``size_flits`` cycles (one flit per cycle at the wavelength-parallel
+channel width), after a fixed token/arbitration delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.packet import Packet
+from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
+
+
+@dataclass
+class _BusCircuit:
+    packet: Packet
+    remaining_flits: int
+
+
+class OptBusNetwork:
+    """MWSR optical bus network with token arbitration."""
+
+    name = "optbus"
+
+    def __init__(self, nodes: int, arbitration_delay: int = 4,
+                 propagation_delay: int = 2,
+                 utilization_interval: int = 100) -> None:
+        if nodes < 2:
+            raise ValueError("need at least two nodes")
+        self.nodes = nodes
+        #: Cycles for the token grant to reach a requester (optical token
+        #: round trip across the package).
+        self.arbitration_delay = arbitration_delay
+        #: Waveguide propagation (cycles) from writer to reader.
+        self.propagation_delay = propagation_delay
+        #: Per-source FIFO of packets awaiting their destination bus.
+        self.source_queues: list[deque[Packet]] = [
+            deque() for _ in range(nodes)]
+        #: Per-destination-bus arbiter and active circuit.
+        self._arbiters = [RoundRobinArbiter(nodes) for _ in range(nodes)]
+        self._active: list[_BusCircuit | None] = [None] * nodes
+        #: Cycles of setup delay left before an active circuit transmits.
+        self._setup_left = [0] * nodes
+        self.cycle = 0
+        self.latency = LatencyStats()
+        self.utilization = UtilizationTracker(
+            num_links=nodes, interval_cycles=utilization_interval)
+        self.injected_packets = 0
+        self.flit_hops = 0
+        self.link_traversals = 0
+
+    def offer_packet(self, packet: Packet) -> None:
+        self.source_queues[packet.src].append(packet)
+        self.injected_packets += 1
+
+    def step(self) -> None:
+        busy = 0
+        # 1. Advance active circuits.
+        for bus in range(self.nodes):
+            circuit = self._active[bus]
+            if circuit is None:
+                continue
+            if self._setup_left[bus] > 0:
+                self._setup_left[bus] -= 1
+                continue
+            circuit.remaining_flits -= 1
+            busy += 1
+            self.flit_hops += 1
+            self.link_traversals += 1
+            if circuit.remaining_flits == 0:
+                self.latency.record(circuit.packet.create_cycle,
+                                    self.cycle + self.propagation_delay,
+                                    circuit.packet.size_flits)
+                self._active[bus] = None
+        # 2. Arbitrate free buses among heads of source queues.
+        requests_per_bus: dict[int, list[bool]] = {}
+        for src, queue in enumerate(self.source_queues):
+            if not queue:
+                continue
+            dst = queue[0].dst
+            if self._active[dst] is None:
+                requests_per_bus.setdefault(dst, [False] * self.nodes)
+                requests_per_bus[dst][src] = True
+        for bus, lines in requests_per_bus.items():
+            winner = self._arbiters[bus].grant(lines)
+            if winner is None:
+                continue
+            packet = self.source_queues[winner].popleft()
+            self._active[bus] = _BusCircuit(
+                packet=packet, remaining_flits=packet.size_flits)
+            self._setup_left[bus] = self.arbitration_delay
+        self.utilization.record_cycle(busy)
+        self.cycle += 1
+
+    def quiescent(self) -> bool:
+        return (all(not q for q in self.source_queues)
+                and all(c is None for c in self._active))
+
+    def total_queued_flits(self) -> int:
+        queued = sum(p.size_flits for q in self.source_queues for p in q)
+        active = sum(c.remaining_flits for c in self._active if c)
+        return queued + active
+
+    def run(self, traffic, cycles: int, warmup: int = 0,
+            drain: bool = False, max_drain_cycles: int = 50_000) -> None:
+        self.latency.warmup_cycles = warmup
+        for _ in range(cycles):
+            for packet in traffic.packets_for_cycle(self.cycle):
+                self.offer_packet(packet)
+            self.step()
+        if drain:
+            budget = max_drain_cycles
+            while not self.quiescent() and budget > 0:
+                self.step()
+                budget -= 1
+        self.utilization.finish()
+
+    def result(self, pattern: str, load: float,
+               saturation_latency: float = 500.0) -> SimulationResult:
+        avg = self.latency.average
+        saturated = (avg == 0.0 and self.injected_packets > 0) \
+            or avg >= saturation_latency
+        return SimulationResult(
+            topology=self.name, pattern=pattern, load=load,
+            cycles=self.cycle, latency=self.latency,
+            utilization=self.utilization,
+            injected_packets=self.injected_packets,
+            flit_hops=self.flit_hops,
+            link_traversals=self.link_traversals,
+            saturated=saturated)

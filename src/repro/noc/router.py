@@ -1,0 +1,165 @@
+"""Input-queued virtual-channel wormhole router.
+
+A faithful (if compact) Booksim-style router: per-input-port VC buffers,
+route computation, output-VC allocation, separable switch allocation, and
+credit-based flow control.  Each pipeline action takes one cycle, giving a
+2-3 cycle per-hop latency plus one link cycle — in line with aggressive NoP
+router designs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.packet import Flit
+
+
+@dataclass
+class VCState:
+    """Bookkeeping for one input virtual channel."""
+
+    buffer: deque = field(default_factory=deque)
+    #: Output port the current packet heads to (-1 = not routed yet).
+    out_port: int = -1
+    #: Output VC allocated for the current packet (-1 = none yet).
+    out_vc: int = -1
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.buffer) or self.out_port != -1
+
+
+class Router:
+    """One input-queued router instance."""
+
+    def __init__(self, router_id: int, num_ports: int, num_vcs: int,
+                 buffer_depth: int) -> None:
+        self.router_id = router_id
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self.buffer_depth = buffer_depth
+        self.inputs = [[VCState() for _ in range(num_vcs)]
+                       for _ in range(num_ports)]
+        #: Credits available toward each (output port, vc).
+        self.credits = [[buffer_depth] * num_vcs for _ in range(num_ports)]
+        #: Which (in_port, in_vc) currently owns each (out_port, out_vc).
+        self.out_owner: list[list[tuple[int, int] | None]] = \
+            [[None] * num_vcs for _ in range(num_ports)]
+        self._vc_arbiters = [[RoundRobinArbiter(num_ports * num_vcs)
+                              for _ in range(num_vcs)]
+                             for _ in range(num_ports)]
+        self._sw_input = [RoundRobinArbiter(num_vcs)
+                          for _ in range(num_ports)]
+        self._sw_output = [RoundRobinArbiter(num_ports * num_vcs)
+                           for _ in range(num_ports)]
+
+    # -- occupancy ------------------------------------------------------
+
+    def buffer_space(self, in_port: int, vc: int) -> int:
+        return self.buffer_depth - len(self.inputs[in_port][vc].buffer)
+
+    def accept_flit(self, in_port: int, flit: Flit) -> None:
+        state = self.inputs[in_port][flit.vc]
+        if len(state.buffer) >= self.buffer_depth:
+            raise RuntimeError(
+                f"router {self.router_id} port {in_port} vc {flit.vc} "
+                f"overflow — credit protocol violated")
+        state.buffer.append(flit)
+
+    def occupancy(self) -> int:
+        """Total buffered flits (control-unit utilization metric)."""
+        return sum(len(vc.buffer) for port in self.inputs for vc in port)
+
+    # -- pipeline stages --------------------------------------------------
+
+    def route_stage(self, route_fn) -> None:
+        """Compute output ports for head flits of unrouted VCs."""
+        for port in self.inputs:
+            for state in port:
+                if state.out_port == -1 and state.buffer \
+                        and state.buffer[0].is_head:
+                    state.out_port = route_fn(self.router_id,
+                                              state.buffer[0].dst)
+
+    def vc_alloc_stage(self, allowed_vcs_fn) -> None:
+        """Allocate a free output VC to routed packets lacking one.
+
+        ``allowed_vcs_fn(flit) -> list[int]`` restricts candidate VCs
+        (deadlock classes).
+        """
+        # Gather requests per (out_port, out_vc).
+        requests: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for p, port in enumerate(self.inputs):
+            for v, state in enumerate(port):
+                if state.out_port == -1 or state.out_vc != -1 \
+                        or not state.buffer:
+                    continue
+                head = state.buffer[0]
+                if not head.is_head:
+                    continue
+                for out_vc in allowed_vcs_fn(head):
+                    if self.out_owner[state.out_port][out_vc] is None:
+                        requests.setdefault(
+                            (state.out_port, out_vc), []).append((p, v))
+        for (out_port, out_vc), claimants in requests.items():
+            if self.out_owner[out_port][out_vc] is not None:
+                continue
+            lines = [False] * (self.num_ports * self.num_vcs)
+            for p, v in claimants:
+                lines[p * self.num_vcs + v] = True
+            winner = self._vc_arbiters[out_port][out_vc].grant(lines)
+            if winner is None:
+                continue
+            p, v = divmod(winner, self.num_vcs)
+            state = self.inputs[p][v]
+            if state.out_vc == -1:  # may have won another VC this cycle
+                state.out_vc = out_vc
+                self.out_owner[out_port][out_vc] = (p, v)
+
+    def switch_alloc_stage(self) -> list[tuple[int, int]]:
+        """Pick (in_port, in_vc) winners, one per input and output port."""
+        # Stage 1: each input port nominates one ready VC.
+        nominated: list[tuple[int, int] | None] = []
+        for p, port in enumerate(self.inputs):
+            ready = [bool(state.buffer) and state.out_vc != -1
+                     and self.credits[state.out_port][state.out_vc] > 0
+                     for state in port]
+            choice = self._sw_input[p].grant(ready) if any(ready) else None
+            nominated.append(choice if choice is None else choice)
+        # Stage 2: each output port picks among nominated inputs.
+        per_output: dict[int, list[tuple[int, int]]] = {}
+        for p, v in enumerate(nominated):
+            if v is None:
+                continue
+            state = self.inputs[p][v]
+            per_output.setdefault(state.out_port, []).append((p, v))
+        winners: list[tuple[int, int]] = []
+        for out_port, claimants in per_output.items():
+            lines = [False] * (self.num_ports * self.num_vcs)
+            for p, v in claimants:
+                lines[p * self.num_vcs + v] = True
+            grant = self._sw_output[out_port].grant(lines)
+            if grant is not None:
+                winners.append(divmod(grant, self.num_vcs))
+        return winners
+
+    def traverse(self, in_port: int, in_vc: int) -> tuple[Flit, int, int]:
+        """Pop the winning flit; returns (flit, out_port, out_vc).
+
+        Tail flits release the input VC and the output VC ownership.
+        Caller is responsible for credit decrement and upstream credit
+        return.
+        """
+        state = self.inputs[in_port][in_vc]
+        flit = state.buffer.popleft()
+        out_port, out_vc = state.out_port, state.out_vc
+        if flit.is_tail:
+            self.out_owner[out_port][out_vc] = None
+            state.out_port = -1
+            state.out_vc = -1
+        return flit, out_port, out_vc
+
+    def idle(self) -> bool:
+        return all(not state.busy for port in self.inputs for state in port)

@@ -1,0 +1,114 @@
+"""Measurement infrastructure for the NoP simulator.
+
+Collects per-packet latencies, throughput, and the per-interval link
+utilization timelines that reproduce Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LatencyStats:
+    """Per-packet latency accounting with warmup exclusion."""
+
+    warmup_cycles: int = 0
+    latencies: list[int] = field(default_factory=list)
+    received: int = 0
+    received_flits: int = 0
+
+    def record(self, packet_create_cycle: int, tail_arrival_cycle: int,
+               size_flits: int) -> None:
+        self.received += 1
+        self.received_flits += size_flits
+        if packet_create_cycle >= self.warmup_cycles:
+            self.latencies.append(tail_arrival_cycle - packet_create_cycle)
+
+    @property
+    def average(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def p99(self) -> float:
+        return float(np.percentile(self.latencies, 99)) \
+            if self.latencies else 0.0
+
+    @property
+    def maximum(self) -> int:
+        return max(self.latencies) if self.latencies else 0
+
+    def throughput(self, nodes: int, measured_cycles: int) -> float:
+        """Accepted flits per node per cycle."""
+        if measured_cycles <= 0:
+            return 0.0
+        return self.received_flits / (nodes * measured_cycles)
+
+
+@dataclass
+class UtilizationTracker:
+    """Per-interval busy fraction of the network's links (Figure 1)."""
+
+    num_links: int
+    interval_cycles: int = 100
+    _busy_in_interval: int = 0
+    _cycle_in_interval: int = 0
+    timeline: list[float] = field(default_factory=list)
+
+    def record_cycle(self, busy_links: int) -> None:
+        if busy_links > self.num_links:
+            raise ValueError(
+                f"{busy_links} busy links exceeds {self.num_links}")
+        self._busy_in_interval += busy_links
+        self._cycle_in_interval += 1
+        if self._cycle_in_interval == self.interval_cycles:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._cycle_in_interval and self.num_links:
+            self.timeline.append(
+                self._busy_in_interval
+                / (self.num_links * self._cycle_in_interval))
+        self._busy_in_interval = 0
+        self._cycle_in_interval = 0
+
+    def finish(self) -> None:
+        """Flush a trailing partial interval."""
+        if self._cycle_in_interval:
+            self._flush()
+
+    @property
+    def average(self) -> float:
+        return float(np.mean(self.timeline)) if self.timeline else 0.0
+
+    @property
+    def peak(self) -> float:
+        return max(self.timeline) if self.timeline else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one network simulation run."""
+
+    topology: str
+    pattern: str
+    load: float
+    cycles: int
+    latency: LatencyStats
+    utilization: UtilizationTracker | None = None
+    injected_packets: int = 0
+    flit_hops: int = 0
+    link_traversals: int = 0
+    saturated: bool = False
+
+    @property
+    def avg_latency(self) -> float:
+        return self.latency.average
+
+    def summary(self) -> str:
+        state = " (saturated)" if self.saturated else ""
+        return (f"{self.topology:8s} {self.pattern:14s} load={self.load:.2f} "
+                f"avg={self.avg_latency:7.1f}cy p99={self.latency.p99:7.1f}"
+                f"{state}")

@@ -1,0 +1,217 @@
+"""In-situ self-configuration of MZI meshes (paper references [10, 15]).
+
+Fabricated meshes never match their design: every phase shifter carries a
+systematic offset (fabrication nonuniformity, thermal crosstalk bias).
+Self-configuration programs the *physical* mesh to implement a target
+unitary anyway, using only measurable quantities — here, the transfer
+matrix obtained by injecting basis vectors and reading the detector
+array, which is exactly what a Flumen endpoint's transceivers provide.
+
+The algorithm is coordinate descent in decomposition order: each MZI's
+programmed ``theta``/``phi`` is tuned (bounded scalar minimization) to
+shrink the Frobenius error between the measured and target matrices, for
+a few sweeps.  Because an exact solution exists whenever the offset
+leaves ``theta`` reachable inside ``[0, pi]``, convergence is fast and
+the residual collapses by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from repro.photonics.clements import MZIMesh, decompose
+from repro.photonics.devices import MZIState
+
+
+@dataclass
+class PhaseOffsets:
+    """Systematic per-MZI phase errors of a fabricated mesh."""
+
+    theta: np.ndarray
+    phi: np.ndarray
+
+    @classmethod
+    def random(cls, num_mzis: int, sigma_rad: float,
+               rng: np.random.Generator | None = None) -> "PhaseOffsets":
+        rng = rng or np.random.default_rng(0)
+        return cls(theta=rng.normal(0.0, sigma_rad, num_mzis),
+                   phi=rng.normal(0.0, sigma_rad, num_mzis))
+
+    @classmethod
+    def none(cls, num_mzis: int) -> "PhaseOffsets":
+        return cls(theta=np.zeros(num_mzis), phi=np.zeros(num_mzis))
+
+
+class PhysicalMesh:
+    """A fabricated mesh: programmed phases plus hidden offsets.
+
+    The calibration code may only call :meth:`measure` (the transfer
+    matrix, as a real lab would reconstruct it from basis injections) and
+    :meth:`program` — never read the offsets.
+    """
+
+    def __init__(self, ideal: MZIMesh, offsets: PhaseOffsets) -> None:
+        if len(offsets.theta) != ideal.num_mzis:
+            raise ValueError("offset count does not match MZI count")
+        self._structure = ideal
+        self._offsets = offsets
+        self.programmed = np.array(
+            [[mzi.theta, mzi.phi] for mzi in ideal.mzis], dtype=float
+        ).reshape(ideal.num_mzis, 2)
+        self.measurements = 0
+
+    @property
+    def num_mzis(self) -> int:
+        return self._structure.num_mzis
+
+    def program(self, index: int, theta: float, phi: float) -> None:
+        """Set the programmed (pre-offset) phases of one MZI."""
+        self.programmed[index] = (theta, phi)
+
+    def _realized(self) -> MZIMesh:
+        mzis = []
+        for i, mzi in enumerate(self._structure.mzis):
+            theta = float(np.clip(
+                self.programmed[i, 0] + self._offsets.theta[i],
+                0.0, math.pi))
+            phi = self.programmed[i, 1] + self._offsets.phi[i]
+            mzis.append(MZIState(mzi.top_mode, theta, phi, mzi.column))
+        mesh = MZIMesh(n=self._structure.n, mzis=mzis)
+        mesh.output_phases = self._structure.output_phases.copy()
+        return mesh
+
+    def measure(self) -> np.ndarray:
+        """The physically realized transfer matrix (basis injections)."""
+        self.measurements += 1
+        return self._realized().matrix()
+
+
+def matrix_error(measured: np.ndarray, target: np.ndarray) -> float:
+    """Normalized Frobenius error between transfer matrices."""
+    return float(np.linalg.norm(measured - target)
+                 / np.linalg.norm(target))
+
+
+@dataclass
+class CalibrationResult:
+    initial_error: float
+    final_error: float
+    sweeps_used: int
+    measurements: int
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        if self.final_error <= 0:
+            return math.inf
+        return self.initial_error / self.final_error
+
+
+def self_configure(mesh: PhysicalMesh, target: np.ndarray,
+                   sweeps: int = 3, tolerance: float = 1e-9
+                   ) -> CalibrationResult:
+    """Tune every MZI's programmed phases to realize ``target``.
+
+    Coordinate descent: for each MZI (in propagation order) minimize the
+    measured matrix error over ``theta`` then ``phi``; repeat for up to
+    ``sweeps`` passes or until the error stops improving.
+    """
+    target = np.asarray(target, dtype=complex)
+    initial = matrix_error(mesh.measure(), target)
+    history = [initial]
+
+    def error_with(index: int, param: int, value: float) -> float:
+        saved = mesh.programmed[index, param]
+        mesh.programmed[index, param] = value
+        err = matrix_error(mesh.measure(), target)
+        mesh.programmed[index, param] = saved
+        return err
+
+    sweeps_used = 0
+    for sweep in range(sweeps):
+        sweeps_used = sweep + 1
+        for i in range(mesh.num_mzis):
+            for param, bounds in ((0, (-0.5, math.pi + 0.5)),
+                                  (1, (-math.pi, 3 * math.pi))):
+                res = minimize_scalar(
+                    lambda v: error_with(i, param, v),
+                    bounds=bounds, method="bounded",
+                    options={"xatol": 1e-7})
+                if res.fun < matrix_error(mesh.measure(), target):
+                    mesh.programmed[i, param] = float(res.x)
+        current = matrix_error(mesh.measure(), target)
+        history.append(current)
+        if current < tolerance or \
+                (len(history) > 1 and history[-2] - current < tolerance):
+            break
+    return CalibrationResult(
+        initial_error=initial,
+        final_error=history[-1],
+        sweeps_used=sweeps_used,
+        measurements=mesh.measurements,
+        history=history,
+    )
+
+
+def calibrate_by_decomposition(mesh: PhysicalMesh, target: np.ndarray,
+                               iterations: int = 2) -> CalibrationResult:
+    """Matrix-inversion self-configuration: one-shot offset estimation.
+
+    Because the Clements factorization of a generic unitary is unique
+    given the mesh structure, decomposing the *measured* transfer matrix
+    recovers the physically realized phases; subtracting the programmed
+    values yields the hidden offsets, and reprogramming
+    ``ideal - offset`` lands on the target to machine precision.  A
+    second iteration mops up ``theta`` values that clipped at the
+    physical range boundary.
+
+    This is the fast path a controller with full transceiver access uses
+    (Hamerly et al., reference [15]); :func:`self_configure` remains as
+    the measurement-only fallback.
+    """
+    target = np.asarray(target, dtype=complex)
+    ideal = decompose(target)
+    initial = matrix_error(mesh.measure(), target)
+    history = [initial]
+    for _ in range(iterations):
+        estimated = decompose(mesh.measure())
+        for i in range(mesh.num_mzis):
+            est_theta = estimated.mzis[i].theta
+            est_phi = estimated.mzis[i].phi
+            d_theta = est_theta - mesh.programmed[i, 0]
+            d_phi = (est_phi - mesh.programmed[i, 1] + math.pi) \
+                % (2 * math.pi) - math.pi
+            mesh.program(i,
+                         ideal.mzis[i].theta - d_theta,
+                         ideal.mzis[i].phi - d_phi)
+        history.append(matrix_error(mesh.measure(), target))
+        if history[-1] < 1e-10:
+            break
+    return CalibrationResult(
+        initial_error=initial,
+        final_error=history[-1],
+        sweeps_used=len(history) - 1,
+        measurements=mesh.measurements,
+        history=history,
+    )
+
+
+def calibrate_to(target: np.ndarray, offsets: PhaseOffsets,
+                 sweeps: int = 3, method: str = "decomposition"
+                 ) -> CalibrationResult:
+    """Convenience wrapper: decompose, fabricate with offsets, calibrate.
+
+    ``method`` is "decomposition" (fast, full-matrix measurements) or
+    "descent" (generic coordinate descent).
+    """
+    mesh = PhysicalMesh(decompose(np.asarray(target, dtype=complex)),
+                        offsets)
+    if method == "decomposition":
+        return calibrate_by_decomposition(mesh, target)
+    if method == "descent":
+        return self_configure(mesh, target, sweeps=sweeps)
+    raise ValueError(f"unknown calibration method {method!r}")

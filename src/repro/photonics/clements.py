@@ -1,0 +1,299 @@
+"""Clements decomposition of unitary matrices onto rectangular MZI meshes.
+
+An ``N x N`` unitary is realized by ``N*(N-1)/2`` Mach-Zehnder
+interferometers arranged in a rectangular mesh of ``N`` columns, plus a
+single column of output phase shifters (Clements et al., *Optica* 2016 —
+reference [10] of the paper).  This module implements:
+
+* :func:`decompose` — factor a unitary into an :class:`MZIMesh` program,
+* :class:`MZIMesh` — the program: MZI states in propagation order plus the
+  output phase screen, with physical column assignment,
+* :meth:`MZIMesh.matrix` — exact reconstruction (used by tests to verify the
+  factorization to machine precision),
+* :meth:`MZIMesh.propagate` — forward E-field propagation of input vectors,
+  the operation the photonic hardware performs.
+
+The MZI convention is the paper's Eq. (1); see
+:func:`repro.photonics.devices.mzi_transfer`.
+
+Derivation notes (kept here because sign conventions are the classic bug
+farm of MZIM code): with ``T`` from Eq. (1) acting on modes ``(m, m+1)``,
+
+* right-nulling: ``(U @ T^dag)[r, m] = -j e^{j theta/2}
+  (u e^{-j phi} sin(theta/2) + v cos(theta/2))`` with ``u = U[r, m]``,
+  ``v = U[r, m+1]``; solved by ``phi = -angle(-v/u)``,
+  ``theta = 2 atan(|v/u|)``.
+* left-nulling: ``(T @ U)[m+1, c] = j e^{-j theta/2}
+  (e^{j phi} cos(theta/2) u - sin(theta/2) v)`` with ``u = U[m, c]``,
+  ``v = U[m+1, c]``; solved by ``phi = angle(v/u)``,
+  ``theta = 2 atan(|u/v|)``.
+* commutation of a daggered left factor through the diagonal:
+  ``T^dag(theta, phi) D = D' T(theta, phi')`` with
+  ``phi' = angle(d_m conj(d_{m+1}))``,
+  ``d'_m = -e^{j theta} e^{-j phi} d_{m+1}`` and
+  ``d'_{m+1} = -e^{j theta} d_{m+1}``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.photonics.devices import MZIState, mzi_transfer
+
+_NULL_TOL = 1e-12
+
+
+class DecompositionError(ValueError):
+    """Raised when the input matrix is not (numerically) unitary."""
+
+
+@dataclass
+class MZIMesh:
+    """A programmed rectangular MZI mesh.
+
+    Attributes
+    ----------
+    n:
+        Number of optical modes (mesh ports).
+    mzis:
+        MZI states in *propagation order*: ``mzis[0]`` is in the first
+        column light encounters.
+    output_phases:
+        Complex unit phasors applied at the ``n`` outputs (the Clements
+        phase screen).
+    """
+
+    n: int
+    mzis: list[MZIState] = field(default_factory=list)
+    output_phases: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.output_phases is None:
+            self.output_phases = np.ones(self.n, dtype=complex)
+
+    @property
+    def num_mzis(self) -> int:
+        return len(self.mzis)
+
+    @property
+    def num_columns(self) -> int:
+        """Number of physical mesh columns in use."""
+        if not self.mzis:
+            return 0
+        return 1 + max(mzi.column for mzi in self.mzis)
+
+    def matrix(self) -> np.ndarray:
+        """Reconstruct the implemented unitary exactly.
+
+        ``matrix() @ a`` equals :meth:`propagate` applied to ``a``.
+        """
+        u = np.eye(self.n, dtype=complex)
+        for mzi in self.mzis:
+            t = mzi.transfer
+            m = mzi.top_mode
+            u[m:m + 2, :] = t @ u[m:m + 2, :]
+        return np.diag(self.output_phases) @ u
+
+    def propagate(self, fields: np.ndarray) -> np.ndarray:
+        """Propagate input E-fields through the mesh.
+
+        Parameters
+        ----------
+        fields:
+            Shape ``(n,)`` for one wavelength or ``(n, p)`` for ``p``
+            wavelengths carried simultaneously (WDM); every wavelength sees
+            the same broadband MZI transformation (Section 2.2).
+        """
+        out = np.asarray(fields, dtype=complex).copy()
+        if out.shape[0] != self.n:
+            raise ValueError(
+                f"expected leading dimension {self.n}, got {out.shape[0]}")
+        for mzi in self.mzis:
+            m = mzi.top_mode
+            out[m:m + 2, ...] = mzi.transfer @ out[m:m + 2, ...]
+        phases = self.output_phases
+        if out.ndim > 1:
+            phases = phases[:, np.newaxis]
+        return phases * out
+
+    def mzis_per_path(self) -> np.ndarray:
+        """Count MZIs traversed from each input to each output.
+
+        Returns an ``(n, n)`` integer matrix ``hops`` where ``hops[o, i]``
+        is the number of MZIs on the *configured* optical path from input
+        ``i`` to output ``o``; ``-1`` marks unconnected pairs (no optical
+        power flows).  Power is traced through splitting states, so a
+        broadcast source has several connected outputs; for splitting paths the
+        count is the worst (deepest) branch.  Used for per-path loss
+        accounting (Section 5.2).
+        """
+        return _trace_hops(self)
+
+    def column_of(self, index: int) -> int:
+        """Physical column of the ``index``-th MZI in propagation order."""
+        return self.mzis[index].column
+
+
+def _trace_hops(mesh: MZIMesh) -> np.ndarray:
+    """Exact per-path MZI counts via per-input power tracing."""
+    n = mesh.n
+    hops = -np.ones((n, n), dtype=int)
+    for i in range(n):
+        power = np.zeros(n)
+        power[i] = 1.0
+        count = np.zeros(n, dtype=int)
+        for mzi in mesh.mzis:
+            m = mzi.top_mode
+            p_in = power[m] + power[m + 1]
+            if p_in <= 1e-15:
+                continue
+            t = np.abs(mzi.transfer) ** 2
+            new = t @ power[m:m + 2]
+            # The MZI hop count carried forward is the power-weighted depth.
+            depth = max(count[m] if power[m] > 1e-15 else 0,
+                        count[m + 1] if power[m + 1] > 1e-15 else 0) + 1
+            power[m:m + 2] = new
+            count[m] = depth if new[0] > 1e-15 else count[m]
+            count[m + 1] = depth if new[1] > 1e-15 else count[m + 1]
+        for o in range(n):
+            if power[o] > 1e-12:
+                hops[o, i] = count[o]
+    return hops
+
+
+def _assign_columns(mzis: list[MZIState], n: int) -> list[MZIState]:
+    """Greedily pack MZIs (in propagation order) into physical columns."""
+    mode_free_at = [0] * n  # earliest column each mode is free
+    placed: list[MZIState] = []
+    for mzi in mzis:
+        m = mzi.top_mode
+        col = max(mode_free_at[m], mode_free_at[m + 1])
+        placed.append(MZIState(m, mzi.theta, mzi.phi, col))
+        mode_free_at[m] = col + 1
+        mode_free_at[m + 1] = col + 1
+    return placed
+
+
+def _right_null_phases(u: complex, v: complex) -> tuple[float, float]:
+    """Phases nulling ``u e^{-j phi} sin + v cos`` (right-multiplication)."""
+    if abs(u) < _NULL_TOL and abs(v) < _NULL_TOL:
+        return 0.0, 0.0
+    if abs(u) < _NULL_TOL:
+        return math.pi, 0.0
+    phi = -cmath.phase(-v / u) if abs(v) >= _NULL_TOL else 0.0
+    theta = 2.0 * math.atan(abs(v) / abs(u))
+    return theta, phi
+
+
+def _left_null_phases(u: complex, v: complex) -> tuple[float, float]:
+    """Phases nulling ``e^{j phi} cos u - sin v`` (left-multiplication)."""
+    if abs(u) < _NULL_TOL and abs(v) < _NULL_TOL:
+        return 0.0, 0.0
+    if abs(v) < _NULL_TOL:
+        return math.pi, 0.0
+    phi = cmath.phase(v / u) if abs(u) >= _NULL_TOL else 0.0
+    theta = 2.0 * math.atan(abs(u) / abs(v))
+    return theta, phi
+
+
+def _apply_right_dagger(u_mat: np.ndarray, m: int, theta: float,
+                        phi: float) -> None:
+    """In-place ``u_mat <- u_mat @ T^dag`` on columns ``(m, m+1)``."""
+    t_dag = mzi_transfer(theta, phi).conj().T
+    u_mat[:, m:m + 2] = u_mat[:, m:m + 2] @ t_dag
+
+
+def _apply_left(u_mat: np.ndarray, m: int, theta: float, phi: float) -> None:
+    """In-place ``u_mat <- T @ u_mat`` on rows ``(m, m+1)``."""
+    t = mzi_transfer(theta, phi)
+    u_mat[m:m + 2, :] = t @ u_mat[m:m + 2, :]
+
+
+def is_unitary(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """Check unitarity: ``U^dag U == I`` within ``tol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    n = matrix.shape[0]
+    return bool(np.allclose(matrix.conj().T @ matrix, np.eye(n), atol=tol))
+
+
+def decompose(unitary: np.ndarray, tol: float = 1e-9) -> MZIMesh:
+    """Factor ``unitary`` into a rectangular MZI mesh program.
+
+    Returns an :class:`MZIMesh` whose :meth:`~MZIMesh.matrix` reproduces the
+    input to machine precision.  Raises :class:`DecompositionError` when the
+    input is not unitary.
+    """
+    u = np.array(unitary, dtype=complex)
+    if not is_unitary(u, tol):
+        raise DecompositionError("input matrix is not unitary")
+    n = u.shape[0]
+    if n == 1:
+        mesh = MZIMesh(n=1)
+        mesh.output_phases = np.array([u[0, 0]], dtype=complex)
+        return mesh
+
+    left_ops: list[tuple[int, float, float]] = []   # (mode, theta, phi)
+    right_ops: list[tuple[int, float, float]] = []
+
+    for diag in range(n - 1):
+        if diag % 2 == 0:
+            # Null along the diagonal from the right: U <- U @ T^dag.
+            for j in range(diag + 1):
+                row, col = n - 1 - j, diag - j
+                theta, phi = _right_null_phases(u[row, col], u[row, col + 1])
+                _apply_right_dagger(u, col, theta, phi)
+                u[row, col] = 0.0
+                right_ops.append((col, theta, phi))
+        else:
+            # Null along the diagonal from the left: U <- T @ U.
+            for j in range(diag + 1):
+                row, col = n - 1 - diag + j, j
+                m = row - 1
+                theta, phi = _left_null_phases(u[m, col], u[row, col])
+                _apply_left(u, m, theta, phi)
+                u[row, col] = 0.0
+                left_ops.append((m, theta, phi))
+
+    diag_phases = np.diag(u).copy()
+    if not np.allclose(np.abs(diag_phases), 1.0, atol=1e-6):
+        raise DecompositionError(
+            "reduction did not terminate in a diagonal unitary; "
+            "input was probably not unitary enough")
+
+    # U = T^dag_L1 ... T^dag_Lk  D  T_Rm ... T_R1.  Commute each daggered
+    # left factor through D (innermost, i.e. last-recorded, first).
+    commuted: list[tuple[int, float, float]] = []
+    for m, theta, phi in reversed(left_ops):
+        d1, d2 = diag_phases[m], diag_phases[m + 1]
+        phi_new = cmath.phase(d1 * d2.conjugate())
+        e_theta = cmath.exp(1j * theta)
+        diag_phases[m] = -e_theta * cmath.exp(-1j * phi) * d2
+        diag_phases[m + 1] = -e_theta * d2
+        commuted.append((m, theta, phi_new))
+    commuted.reverse()
+
+    # U = D' . T'_L1 ... T'_Lk . T_Rm ... T_R1: the product applies the
+    # rightmost factor to the input first, so propagation order is the
+    # reversed factor list.
+    factor_order = commuted + list(reversed(right_ops))
+    propagation = [MZIState(m, theta, phi)
+                   for m, theta, phi in reversed(factor_order)]
+    mesh = MZIMesh(n=n, mzis=_assign_columns(propagation, n))
+    mesh.output_phases = diag_phases
+    return mesh
+
+
+def random_unitary(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Draw a Haar-random ``n x n`` unitary (QR of a complex Ginibre matrix)."""
+    rng = rng or np.random.default_rng()
+    z = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    q, r = np.linalg.qr(z)
+    # Normalize phases so the distribution is Haar.
+    d = np.diag(r)
+    return q * (d / np.abs(d))

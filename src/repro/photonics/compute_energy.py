@@ -1,0 +1,163 @@
+"""MZIM computation energy model (Section 5.3, Figure 12(b)/(c)).
+
+Energy of an ``N x N`` MZIM computing ``m`` matrix-vector products in one
+window (each vector on its own wavelength, ``p`` compute wavelengths
+available) decomposes into
+
+* **static** power over the compute window: per-MZI phase-hold power (the
+  phase-shifter DAC + sample-and-hold leakage the paper identifies as the
+  dominant static term) — proportional to the ``N^2`` MZI count of an SVD
+  mesh;
+* **laser** energy: one laser line per in-flight vector, sized by the mesh
+  depth (per-column insertion loss compounds in dB, so bigger meshes pay
+  exponentially more optical power);
+* **I/O** energy: per-port input DAC + modulator and output TIA + ADC
+  conversions, linear in ``m * N``.
+
+Calibration: the model's four constants are fit to the paper's own 64x64
+anchors (0.62 / 1.32 / 2.24 nJ for 1 / 4 / 8 MVMs) and the 8x8, 4-vector
+anchor (33.8 pJ); the derivation is recorded in EXPERIMENTS.md.  The
+electrical baseline is the approximate-multiplier MAC of [13]:
+69.2 pJ / (8*8*4) MACs = 0.2703 pJ per MAC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.config import (
+    DeviceParams,
+    FlumenComputeConfig,
+    dbm_to_watts,
+)
+
+#: Electrical 8-bit approximate MAC energy (J/MAC), Esposito et al. [13]:
+#: 0.75 mW at 2.5 GHz, anchored by the paper's 69.2 pJ for 256 MACs.
+ELECTRICAL_MAC_ENERGY_J = 69.2e-12 / 256.0
+
+
+@dataclass(frozen=True)
+class ComputeCalibration:
+    """Fitted constants of the MZIM compute-energy model."""
+
+    #: Phase-hold power per MZI (DAC share + sample-and-hold), watts.
+    hold_power_per_mzi_w: float = 15.0e-6
+    #: Effective optical loss per mesh column for compute laser sizing, dB.
+    column_loss_db: float = 0.16
+    #: Fixed optical budget above the OOK sensitivity: coupling and ring
+    #: losses plus the extra SNR analog 8-bit detection needs over binary
+    #: detection (~10 dB), dB.
+    fixed_loss_db: float = 17.1
+    #: Per-port per-vector I/O energy (input DAC+modulator, output TIA+ADC).
+    io_energy_per_sample_j: float = 0.5e-12
+
+
+@dataclass(frozen=True)
+class ComputeEnergyBreakdown:
+    """Energy of one MZIM compute window, by component (joules)."""
+
+    static: float
+    laser: float
+    io: float
+    window_s: float
+    macs: int
+
+    @property
+    def total(self) -> float:
+        return self.static + self.laser + self.io
+
+    @property
+    def per_mac(self) -> float:
+        return self.total / self.macs if self.macs else math.inf
+
+
+@dataclass
+class MZIMComputeModel:
+    """Energy/latency model of SVD-MZIM matrix multiplication."""
+
+    devices: DeviceParams = field(default_factory=DeviceParams)
+    compute: FlumenComputeConfig = field(default_factory=FlumenComputeConfig)
+    calibration: ComputeCalibration = field(default_factory=ComputeCalibration)
+
+    def svd_mzi_count(self, n: int) -> int:
+        """MZIs in an ``n``-input SVD MZIM: n^2 (Section 3.1.1)."""
+        return n * n
+
+    def mesh_columns(self, n: int) -> int:
+        """Mesh depth of an SVD circuit: two unitary meshes + Sigma."""
+        return 2 * n + 1
+
+    def window_s(self, vectors: int, wavelengths: int | None = None,
+                 include_programming: bool = True) -> float:
+        """Duration of a compute window for ``vectors`` MVMs.
+
+        Vectors beyond the wavelength count serialize into extra input
+        modulation cycles at the 5 GHz input rate.
+        """
+        p = wavelengths or self.compute.computation_wavelengths
+        cycles = math.ceil(vectors / p)
+        t = cycles / self.compute.input_modulation_hz
+        if include_programming:
+            t += self.compute.mzim_switch_delay_s
+        return t
+
+    def laser_power_per_vector_w(self, n: int) -> float:
+        """Laser power of one compute wavelength through an ``n``-input mesh."""
+        cal = self.calibration
+        loss_db = (self.mesh_columns(n) * cal.column_loss_db
+                   + cal.fixed_loss_db)
+        sensitivity_w = dbm_to_watts(self.devices.photodiode.sensitivity_dbm)
+        return (sensitivity_w * 10.0 ** (loss_db / 10.0)
+                / self.devices.laser.owpe)
+
+    def matmul_energy(self, n: int, vectors: int,
+                      wavelengths: int | None = None,
+                      include_programming: bool = True
+                      ) -> ComputeEnergyBreakdown:
+        """Energy of ``vectors`` MVMs against one programmed ``n x n`` matrix."""
+        if n < 2:
+            raise ValueError(f"MZIM dimension must be >= 2, got {n}")
+        if vectors < 1:
+            raise ValueError(f"need at least one vector, got {vectors}")
+        cal = self.calibration
+        t = self.window_s(vectors, wavelengths, include_programming)
+        p = wavelengths or self.compute.computation_wavelengths
+        in_flight = min(vectors, p)
+        static = t * cal.hold_power_per_mzi_w * self.svd_mzi_count(n)
+        # Laser lines stay on for the whole window; vectors beyond p reuse
+        # the same lines across serialized cycles, so energy follows the
+        # number of *lines*, not the number of vectors.
+        laser = t * in_flight * self.laser_power_per_vector_w(n)
+        io = vectors * n * cal.io_energy_per_sample_j
+        return ComputeEnergyBreakdown(
+            static=static, laser=laser, io=io, window_s=t,
+            macs=vectors * n * n)
+
+    def electrical_matmul_energy(self, n: int, vectors: int) -> float:
+        """Energy of the same job on the electrical approximate MAC unit."""
+        return vectors * n * n * ELECTRICAL_MAC_ENERGY_J
+
+    def speedup_window_s(self, n: int, vectors: int,
+                         core_macs_per_s: float) -> tuple[float, float]:
+        """(photonic, electrical) wall-clock for the same matmul job."""
+        photonic = self.window_s(vectors)
+        electrical = vectors * n * n / core_macs_per_s
+        return photonic, electrical
+
+    def mac_energy_sweep(self, dims: list[int], wavelength_counts: list[int],
+                         vectors_per_job: int | None = None
+                         ) -> dict[tuple[int, int], float]:
+        """Energy per MAC over (dimension, wavelengths) — Figure 12(c) grid.
+
+        By default each point runs a *saturated* window: ``p`` vectors on
+        ``p`` wavelengths, which is how WDM amortizes the per-window static
+        energy.  Pass ``vectors_per_job`` to pin the job size instead.
+        """
+        grid: dict[tuple[int, int], float] = {}
+        for n in dims:
+            for p in wavelength_counts:
+                vectors = vectors_per_job if vectors_per_job is not None else p
+                e = self.matmul_energy(n, vectors, wavelengths=p)
+                grid[(n, p)] = e.per_mac
+        return grid

@@ -1,0 +1,415 @@
+"""The Flumen photonic fabric (Section 3.1.2, Figure 5).
+
+An ``N``-input unitary MZIM augmented with a vertical column of ``N``
+attenuating MZIs.  The fabric serves two roles:
+
+* **Communication** — the unitary mesh realizes point-to-point, multicast and
+  broadcast patterns; the attenuator column equalizes the per-path optical
+  loss spread so every receiver sees the same power for the same modulated
+  value.
+* **Computation** — placing a row of MZIs into the bar state partitions the
+  mesh; a partition of ``K`` contiguous ports, together with its slice of
+  the attenuator column, functions as a ``K``-input SVD MZIM.  An ``N``-input
+  fabric splits evenly into two ``N/2``-input SVD MZIMs when ``N`` is
+  divisible by 4.
+
+Partitions are contiguous port ranges that tile ``[0, N)``.  Communication
+and computation proceed concurrently in different partitions; the scheduler
+(:mod:`repro.core.scheduler`) decides when partitions are created/destroyed.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DeviceParams, linear_to_db
+from repro.photonics.clements import MZIMesh
+from repro.photonics.devices import attenuator_theta
+from repro.photonics.routing import (
+    RoutingError,
+    program_gather,
+    program_multicast,
+    program_point_to_point,
+    received_power,
+)
+from repro.photonics.svd import SVDProgram, program_svd
+
+#: Assumed physical pitch of one mesh column, in centimetres.  An MZI with
+#: thermal isolation trenches is ~300 um long (Table 2 sources).
+COLUMN_PITCH_CM = 0.03
+
+
+class PartitionKind(enum.Enum):
+    COMMUNICATION = "communication"
+    COMPUTE = "compute"
+
+
+@dataclass
+class Partition:
+    """A contiguous port range ``[lo, hi)`` with a single active role."""
+
+    lo: int
+    hi: int
+    kind: PartitionKind
+    #: Communication partitions: the programmed sub-mesh (or None when idle).
+    comm_mesh: MZIMesh | None = None
+    #: Active src->dst pairs (local port numbering) in a comm partition.
+    comm_pairs: dict[int, int] = field(default_factory=dict)
+    #: Compute partitions: the programmed SVD circuit.
+    svd: SVDProgram | None = None
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, port: int) -> bool:
+        return self.lo <= port < self.hi
+
+
+class FabricError(RuntimeError):
+    """Raised on invalid partition or configuration operations."""
+
+
+class FlumenFabric:
+    """An ``N``-port Flumen MZIM with dynamic partitioning.
+
+    Parameters
+    ----------
+    n:
+        Port count.  Must be even and at least 4; divisibility by 4 is
+        required only by :meth:`split_even`.
+    devices:
+        Optical device parameters for loss accounting (defaults to Table 2).
+    """
+
+    def __init__(self, n: int, devices: DeviceParams | None = None) -> None:
+        if n < 4 or n % 2:
+            raise ValueError(f"fabric needs an even port count >= 4, got {n}")
+        self.n = n
+        self.devices = devices or DeviceParams()
+        #: Linear power transmission programmed into each attenuating MZI.
+        self.attenuator_transmission = np.ones(n)
+        self.partitions: list[Partition] = [
+            Partition(0, n, PartitionKind.COMMUNICATION)]
+        #: Seconds spent reprogramming phases since construction.
+        self.reconfiguration_time_s = 0.0
+        #: Number of phase reprogramming events, by role.
+        self.comm_configs = 0
+        self.compute_configs = 0
+
+    # ------------------------------------------------------------------
+    # structure / inventory
+    # ------------------------------------------------------------------
+
+    @property
+    def num_mesh_mzis(self) -> int:
+        """MZIs in the unitary mesh: N(N-1)/2."""
+        return self.n * (self.n - 1) // 2
+
+    @property
+    def num_attenuator_mzis(self) -> int:
+        """Attenuating MZIs in the added column: N."""
+        return self.n
+
+    @property
+    def num_mzis(self) -> int:
+        """Total MZI count of the Flumen fabric."""
+        return self.num_mesh_mzis + self.num_attenuator_mzis
+
+    @property
+    def mesh_columns(self) -> int:
+        """Physical mesh depth: N unitary columns + 1 attenuator column."""
+        return self.n + 1
+
+    def partition_of(self, port: int) -> Partition:
+        """The partition currently containing ``port``."""
+        for part in self.partitions:
+            if part.contains(port):
+                return part
+        raise FabricError(f"port {port} outside fabric of size {self.n}")
+
+    def barrier_rows(self) -> list[int]:
+        """Port boundaries where a bar-state reflector row is active."""
+        return [part.hi for part in self.partitions[:-1]]
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+
+    def split(self, lo: int, hi: int, matrix: np.ndarray | None = None
+              ) -> Partition:
+        """Carve ``[lo, hi)`` out of a communication partition for compute.
+
+        ``matrix`` (shape ``(hi-lo, hi-lo)``) programs the partition's SVD
+        circuit immediately; pass ``None`` to program later with
+        :meth:`program_compute`.  Charges the 6 ns compute programming
+        overhead (Section 4.1).
+        """
+        if hi - lo < 2 or (hi - lo) % 2:
+            raise FabricError(
+                f"compute partition must have even size >= 2, got [{lo},{hi})")
+        host = self.partition_of(lo)
+        if host.kind is not PartitionKind.COMMUNICATION:
+            raise FabricError(f"[{lo},{hi}) overlaps a compute partition")
+        if hi > host.hi:
+            raise FabricError(
+                f"[{lo},{hi}) crosses partition boundary at {host.hi}")
+        if any(lo < dst + host.lo < hi or lo < src + host.lo < hi
+               for src, dst in host.comm_pairs.items()):
+            # Pairs using ports inside the new partition are torn down; the
+            # control unit re-requests them (handled by the scheduler).
+            host.comm_pairs = {
+                s: d for s, d in host.comm_pairs.items()
+                if not (lo <= s + host.lo < hi or lo <= d + host.lo < hi)}
+            host.comm_mesh = None
+
+        new_parts: list[Partition] = []
+        for part in self.partitions:
+            if part is not host:
+                new_parts.append(part)
+                continue
+            if host.lo < lo:
+                new_parts.append(Partition(host.lo, lo,
+                                           PartitionKind.COMMUNICATION))
+            compute = Partition(lo, hi, PartitionKind.COMPUTE)
+            new_parts.append(compute)
+            if hi < host.hi:
+                new_parts.append(Partition(hi, host.hi,
+                                           PartitionKind.COMMUNICATION))
+        new_parts.sort(key=lambda p: p.lo)
+        self.partitions = new_parts
+        if matrix is not None:
+            self.program_compute(compute, matrix)
+        return compute
+
+    def split_even(self) -> tuple[Partition, Partition]:
+        """Split the whole fabric into two N/2-input SVD MZIMs (Figure 5)."""
+        if self.n % 4:
+            raise FabricError(
+                f"even split into two SVD MZIMs needs N % 4 == 0, N={self.n}")
+        if len(self.partitions) != 1:
+            raise FabricError("fabric already partitioned")
+        half = self.n // 2
+        top = self.split(0, half)
+        bottom = self.split(half, self.n)
+        return top, bottom
+
+    def release(self, partition: Partition) -> None:
+        """Return a compute partition to communication and merge neighbours."""
+        if partition not in self.partitions:
+            raise FabricError("unknown partition")
+        partition.kind = PartitionKind.COMMUNICATION
+        partition.svd = None
+        partition.comm_mesh = None
+        partition.comm_pairs = {}
+        merged: list[Partition] = []
+        for part in self.partitions:
+            if (merged
+                    and merged[-1].kind is PartitionKind.COMMUNICATION
+                    and part.kind is PartitionKind.COMMUNICATION):
+                prev = merged[-1]
+                merged[-1] = Partition(prev.lo, part.hi,
+                                       PartitionKind.COMMUNICATION)
+            else:
+                merged.append(part)
+        self.partitions = merged
+
+    # ------------------------------------------------------------------
+    # programming
+    # ------------------------------------------------------------------
+
+    def program_compute(self, partition: Partition,
+                        matrix: np.ndarray) -> SVDProgram:
+        """Program a compute partition's SVD circuit for ``matrix``."""
+        if partition.kind is not PartitionKind.COMPUTE:
+            raise FabricError("partition is not a compute partition")
+        matrix = np.asarray(matrix)
+        if matrix.shape != (partition.size, partition.size):
+            raise FabricError(
+                f"matrix shape {matrix.shape} does not match partition size "
+                f"{partition.size}")
+        partition.svd = program_svd(matrix)
+        self.reconfiguration_time_s += self.devices.mzi.compute_program_time_s
+        self.compute_configs += 1
+        return partition.svd
+
+    def configure_communication(self, pairs: Mapping[int, int]) -> None:
+        """Program point-to-point links (global port numbers).
+
+        Every pair must fall inside a single communication partition.
+        Charges the 1 ns communication programming overhead per partition
+        touched.
+        """
+        by_partition: dict[int, dict[int, int]] = {}
+        for src, dst in pairs.items():
+            part = self.partition_of(src)
+            if part.kind is not PartitionKind.COMPUTE:
+                if not part.contains(dst):
+                    raise RoutingError(
+                        f"pair {src}->{dst} crosses the partition barrier at "
+                        f"{part.hi}")
+                by_partition.setdefault(part.lo, {})[src - part.lo] = \
+                    dst - part.lo
+            else:
+                raise RoutingError(
+                    f"source {src} is inside a compute partition")
+        for part in self.partitions:
+            if part.kind is not PartitionKind.COMMUNICATION:
+                continue
+            local = by_partition.get(part.lo, {})
+            part.comm_pairs = dict(local)
+            part.comm_mesh = program_point_to_point(local, part.size)
+            self.reconfiguration_time_s += \
+                self.devices.mzi.comm_program_time_s
+            self.comm_configs += 1
+        self.equalize_attenuators()
+
+    def configure_multicast(self, source: int, destinations: list[int]
+                            ) -> None:
+        """Program a multicast tree inside the source's partition."""
+        part = self.partition_of(source)
+        if part.kind is not PartitionKind.COMMUNICATION:
+            raise RoutingError(f"source {source} is inside a compute partition")
+        for dst in destinations:
+            if not part.contains(dst):
+                raise RoutingError(
+                    f"destination {dst} crosses the partition barrier")
+        part.comm_pairs = {source - part.lo: dst - part.lo
+                           for dst in destinations[:1]}
+        part.comm_mesh = program_multicast(
+            source - part.lo, [d - part.lo for d in destinations], part.size)
+        self.reconfiguration_time_s += self.devices.mzi.comm_program_time_s
+        self.comm_configs += 1
+
+    def configure_gather(self, partition: Partition,
+                         destination: int) -> None:
+        """Configure a compute partition for many-to-one result return."""
+        if not partition.contains(destination):
+            raise FabricError("gather destination outside partition")
+        partition.comm_mesh = program_gather(
+            destination - partition.lo, range(partition.size), partition.size)
+        self.reconfiguration_time_s += self.devices.mzi.comm_program_time_s
+        self.comm_configs += 1
+
+    # ------------------------------------------------------------------
+    # optical accounting
+    # ------------------------------------------------------------------
+
+    def path_mzi_count(self, src: int, dst: int) -> int:
+        """MZIs traversed on the configured path ``src -> dst``.
+
+        Includes the attenuating MZI at the output.  Raises
+        :class:`FabricError` when no configured path connects the pair.
+        """
+        part = self.partition_of(src)
+        if not part.contains(dst) or part.comm_mesh is None:
+            raise FabricError(f"no configured path {src}->{dst}")
+        hops = part.comm_mesh.mzis_per_path()
+        count = hops[dst - part.lo, src - part.lo]
+        if count < 0:
+            raise FabricError(f"no optical power flows {src}->{dst}")
+        return int(count) + 1  # + the attenuator column
+
+    def path_loss_db(self, src: int, dst: int) -> float:
+        """Optical loss of the configured path, including the attenuator."""
+        mzis = self.path_mzi_count(src, dst)
+        mzi_loss = mzis * self.devices.mzi.insertion_loss_db
+        waveguide_cm = self.mesh_columns * COLUMN_PITCH_CM
+        wg_loss = waveguide_cm * self.devices.waveguide.straight_loss_db_per_cm
+        att_extra = linear_to_db(
+            max(self.attenuator_transmission[dst], 1e-12))
+        return mzi_loss + wg_loss + att_extra
+
+    def equalize_attenuators(self) -> None:
+        """Equalize per-destination loss within each comm partition.
+
+        Destinations on shorter (lower-loss) paths get extra attenuation so
+        all receivers observe the worst-case path loss — the role of the
+        added attenuator column (Section 3.1.2).
+        """
+        self.attenuator_transmission = np.ones(self.n)
+        for part in self.partitions:
+            if part.kind is not PartitionKind.COMMUNICATION \
+                    or part.comm_mesh is None or not part.comm_pairs:
+                continue
+            hops = part.comm_mesh.mzis_per_path()
+            per_mzi = self.devices.mzi.insertion_loss_db
+            losses = {}
+            for src, dst in part.comm_pairs.items():
+                h = hops[dst, src]
+                if h >= 0:
+                    losses[dst] = h * per_mzi
+            if not losses:
+                continue
+            worst = max(losses.values())
+            for dst, loss in losses.items():
+                extra_db = worst - loss
+                self.attenuator_transmission[part.lo + dst] = \
+                    10.0 ** (-extra_db / 10.0)
+
+    def attenuator_thetas(self) -> np.ndarray:
+        """theta programming of the attenuator column."""
+        return np.array([attenuator_theta(t)
+                         for t in self.attenuator_transmission])
+
+    def worst_case_loss_db(self, wavelengths: int = 1) -> float:
+        """Worst path loss across the whole fabric for laser sizing.
+
+        Conservatively assumes a path through every mesh column plus the
+        endpoint MRR mux/demux chains (``2 * wavelengths`` thru-ring passes
+        and one drop) — the ``k/2 + 2p`` scaling of Section 5.2.
+        """
+        mzi_loss = self.mesh_columns * self.devices.mzi.insertion_loss_db
+        wg_loss = (self.mesh_columns * COLUMN_PITCH_CM
+                   * self.devices.waveguide.straight_loss_db_per_cm)
+        ring_loss = (2 * wavelengths * self.devices.mrr.thru_loss_db
+                     + self.devices.mrr.drop_loss_db)
+        return mzi_loss + wg_loss + ring_loss
+
+    # ------------------------------------------------------------------
+    # end-to-end optical simulation
+    # ------------------------------------------------------------------
+
+    def propagate_comm(self, fields: np.ndarray) -> np.ndarray:
+        """Propagate E-fields through every communication partition.
+
+        Compute-partition ports pass zeros (their light stays inside the
+        partition).  Attenuator column and per-MZI insertion loss applied.
+        """
+        fields = np.asarray(fields, dtype=complex)
+        if fields.shape[0] != self.n:
+            raise ValueError(f"expected {self.n} fields, got {fields.shape}")
+        out = np.zeros_like(fields)
+        amp_per_mzi = np.sqrt(
+            10.0 ** (-self.devices.mzi.insertion_loss_db / 10.0))
+        for part in self.partitions:
+            if part.kind is not PartitionKind.COMMUNICATION \
+                    or part.comm_mesh is None:
+                continue
+            seg = part.comm_mesh.propagate(fields[part.lo:part.hi, ...])
+            hops = part.comm_mesh.mzis_per_path()
+            # Apply worst-branch per-output loss (exact for crossbar states).
+            max_hops = np.maximum(hops.max(axis=1), 0)
+            loss = amp_per_mzi ** (max_hops + 1)  # + attenuator column
+            att = np.sqrt(self.attenuator_transmission[part.lo:part.hi])
+            scale = loss * att
+            if seg.ndim > 1:
+                scale = scale[:, np.newaxis]
+            out[part.lo:part.hi, ...] = seg * scale
+        return out
+
+    def compute_partitions(self) -> list[Partition]:
+        """All currently active compute partitions."""
+        return [p for p in self.partitions
+                if p.kind is PartitionKind.COMPUTE]
+
+    def communication_ports(self) -> list[int]:
+        """Ports currently available for communication."""
+        return list(itertools.chain.from_iterable(
+            range(p.lo, p.hi) for p in self.partitions
+            if p.kind is PartitionKind.COMMUNICATION))

@@ -1,0 +1,165 @@
+"""Communication mapping onto the Flumen MZIM (Section 3.2).
+
+One-to-one patterns are unitary *permutation* matrices; decomposing them with
+Clements yields MZIs purely in cross (theta=0) / bar (theta=pi) states, which
+is exactly the paper's "sequence of many reflections and transmissions".
+One-to-many patterns use intermediate splitting states; the broadcast tree of
+Figure 6(b) delivers equal power ``1/d`` to each of ``d`` destinations.
+
+The module also completes *partial* permutations (only some endpoints are
+communicating at a given cycle) and builds gather (many-to-one) programs used
+when a compute partition returns MVM results (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.photonics.clements import MZIMesh, decompose
+from repro.photonics.devices import BAR_THETA, CROSS_THETA
+
+
+class RoutingError(ValueError):
+    """Raised for conflicting or out-of-range communication requests."""
+
+
+def permutation_matrix(targets: Iterable[int]) -> np.ndarray:
+    """Build the unitary adjacency matrix of a one-to-one pattern.
+
+    ``targets[i]`` is the output port receiving input ``i``'s signal; the
+    returned matrix ``P`` satisfies ``P[targets[i], i] == 1``.
+    """
+    targets = list(targets)
+    n = len(targets)
+    if sorted(targets) != list(range(n)):
+        raise RoutingError(f"not a permutation of 0..{n - 1}: {targets}")
+    p = np.zeros((n, n))
+    for src, dst in enumerate(targets):
+        p[dst, src] = 1.0
+    return p
+
+
+def complete_partial_permutation(pairs: Mapping[int, int], n: int) -> list[int]:
+    """Extend src->dst pairs to a full permutation on ``n`` ports.
+
+    Unrequested inputs are wired to the remaining free outputs, preferring
+    the same-numbered output (so idle endpoints see their own loopback and
+    no stray power lands on an active receiver).
+    """
+    targets = [-1] * n
+    used_dsts: set[int] = set()
+    for src, dst in pairs.items():
+        if not (0 <= src < n and 0 <= dst < n):
+            raise RoutingError(f"pair {src}->{dst} out of range for n={n}")
+        if targets[src] != -1:
+            raise RoutingError(f"source {src} requested twice")
+        if dst in used_dsts:
+            raise RoutingError(f"destination {dst} requested twice")
+        targets[src] = dst
+        used_dsts.add(dst)
+    free_dsts = [d for d in range(n) if d not in used_dsts]
+    for src in range(n):
+        if targets[src] != -1:
+            continue
+        if src in free_dsts:
+            targets[src] = src
+            free_dsts.remove(src)
+        else:
+            targets[src] = free_dsts.pop(0)
+    return targets
+
+
+def program_point_to_point(pairs: Mapping[int, int], n: int) -> MZIMesh:
+    """Program a mesh for a (possibly partial) set of one-to-one links.
+
+    All MZIs land in cross/bar states — asserted, because this is the
+    physical property that makes runtime communication programming cheap
+    (1 ns, Section 4.1).
+    """
+    targets = complete_partial_permutation(pairs, n)
+    mesh = decompose(permutation_matrix(targets))
+    assert is_crossbar_program(mesh), "permutation produced splitting states"
+    return mesh
+
+
+def is_crossbar_program(mesh: MZIMesh, tol: float = 1e-9) -> bool:
+    """True when every MZI is in a pure cross or bar state."""
+    return all(
+        min(abs(mzi.theta - CROSS_THETA), abs(mzi.theta - BAR_THETA)) <= tol
+        for mzi in mesh.mzis)
+
+
+def multicast_unitary(source: int, destinations: Iterable[int],
+                      n: int) -> np.ndarray:
+    """Unitary whose ``source`` column splits power equally to destinations.
+
+    Column ``source`` carries amplitude ``1/sqrt(d)`` at each of the ``d``
+    destination rows (output power ``1/d`` each, cf. Figure 6(b)).  The
+    remaining columns are completed orthonormally (Gram-Schmidt over the
+    standard basis), so non-participant inputs leak no power onto the
+    multicast destinations.
+    """
+    dests = sorted(set(destinations))
+    if not dests:
+        raise RoutingError("multicast needs at least one destination")
+    if not 0 <= source < n:
+        raise RoutingError(f"source {source} out of range for n={n}")
+    for d in dests:
+        if not 0 <= d < n:
+            raise RoutingError(f"destination {d} out of range for n={n}")
+    amp = 1.0 / math.sqrt(len(dests))
+    first = np.zeros(n)
+    first[dests] = amp
+
+    columns = [first]
+    for k in range(n):
+        candidate = np.zeros(n)
+        candidate[k] = 1.0
+        for col in columns:
+            candidate = candidate - np.dot(col, candidate) * col
+        norm = np.linalg.norm(candidate)
+        if norm > 1e-9:
+            columns.append(candidate / norm)
+        if len(columns) == n:
+            break
+    basis = np.column_stack(columns)
+    # Place the multicast column at index ``source``; fill the others in
+    # free-column order.
+    u = np.zeros((n, n))
+    u[:, source] = basis[:, 0]
+    others = [c for c in range(n) if c != source]
+    for idx, col in enumerate(others):
+        u[:, col] = basis[:, idx + 1]
+    return u
+
+
+def program_multicast(source: int, destinations: Iterable[int],
+                      n: int) -> MZIMesh:
+    """Program a mesh delivering equal power from ``source`` to each dest."""
+    return decompose(multicast_unitary(source, destinations, n))
+
+
+def program_broadcast(source: int, n: int) -> MZIMesh:
+    """Program a full broadcast: ``source`` reaches every output at ``1/n``."""
+    return program_multicast(source, range(n), n)
+
+
+def program_gather(destination: int, sources: Iterable[int],
+                   n: int) -> MZIMesh:
+    """Program a many-to-one pattern (compute-result return, Section 3.4).
+
+    The gather is the adjoint of the corresponding multicast: coherent
+    combining of the source fields onto one output port.
+    """
+    u = multicast_unitary(destination, sources, n)
+    return decompose(u.T.conj())
+
+
+def received_power(mesh: MZIMesh, source: int) -> np.ndarray:
+    """Ideal (lossless) power observed at each output for 1 W on ``source``."""
+    fields = np.zeros(mesh.n, dtype=complex)
+    fields[source] = 1.0
+    return np.abs(mesh.propagate(fields)) ** 2

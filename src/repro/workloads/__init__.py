@@ -1,0 +1,84 @@
+"""The five evaluated applications (Section 4.2), with golden references."""
+
+from repro.workloads.base import (
+    MatmulPhase,
+    Workload,
+    verify_photonic,
+)
+from repro.workloads.dct import (
+    blocks_from_plane,
+    dct2,
+    dct_matrix,
+    idct2,
+    plane_from_blocks,
+)
+from repro.workloads.image_blur import (
+    ImageBlur,
+    gaussian_kernel_3x3,
+    synthetic_image,
+)
+from repro.workloads.jpeg import (
+    CHROMA_QUANT,
+    LUMA_QUANT,
+    JPEGCompressor,
+    JPEGWorkload,
+    rgb_to_ycbcr,
+    run_length_decode,
+    run_length_encode,
+    zigzag_order,
+)
+from repro.workloads.resnet50_conv3 import ResNet50Conv3
+from repro.workloads.rotation3d import (
+    Rotation3D,
+    rotation_matrix,
+    wireframe_vertices,
+)
+from repro.workloads.vgg16_fc import VGG16FC, quantized_weights
+
+
+def paper_workloads() -> list[Workload]:
+    """The five benchmarks at their paper-specified shapes."""
+    return [ImageBlur(), VGG16FC(), ResNet50Conv3(), JPEGWorkload(),
+            Rotation3D()]
+
+
+def small_workloads() -> list[Workload]:
+    """Reduced shapes for fast tests: same structure, smaller data."""
+    return [
+        ImageBlur(height=32, width=32),
+        VGG16FC(outputs=64, inputs=128),
+        ResNet50Conv3(height=14, width=14, channels=16),
+        JPEGWorkload(height=32, width=48),
+        Rotation3D(vertices=34),
+    ]
+
+
+__all__ = [
+    "CHROMA_QUANT",
+    "ImageBlur",
+    "JPEGCompressor",
+    "JPEGWorkload",
+    "LUMA_QUANT",
+    "MatmulPhase",
+    "ResNet50Conv3",
+    "Rotation3D",
+    "VGG16FC",
+    "Workload",
+    "blocks_from_plane",
+    "dct2",
+    "dct_matrix",
+    "gaussian_kernel_3x3",
+    "idct2",
+    "paper_workloads",
+    "plane_from_blocks",
+    "quantized_weights",
+    "rgb_to_ycbcr",
+    "rotation_matrix",
+    "run_length_decode",
+    "run_length_encode",
+    "small_workloads",
+    "synthetic_image",
+    "verify_photonic",
+    "wireframe_vertices",
+    "zigzag_order",
+]

@@ -1,0 +1,59 @@
+"""8x8 discrete cosine transform as matrix multiplication.
+
+The 2-D DCT of a block ``X`` is ``D @ X @ D.T`` with the orthonormal DCT-II
+matrix ``D`` — two 8x8 matrix multiplications, which is how JPEG maps onto
+the MZIM (the DCT matrix is orthogonal, so it fits the full 8-input
+*unitary* MZIM without the Sigma column, Section 5.4.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def dct_matrix(n: int = 8) -> np.ndarray:
+    """Orthonormal DCT-II matrix: ``D @ D.T == I``."""
+    d = np.empty((n, n))
+    for k in range(n):
+        scale = math.sqrt(1.0 / n) if k == 0 else math.sqrt(2.0 / n)
+        for i in range(n):
+            d[k, i] = scale * math.cos(math.pi * (2 * i + 1) * k / (2 * n))
+    return d
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """2-D DCT of one (or a stack of) 8x8 block(s)."""
+    d = dct_matrix(block.shape[-1])
+    return d @ block @ d.T
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT (orthonormal, so the transpose inverts)."""
+    d = dct_matrix(coeffs.shape[-1])
+    return d.T @ coeffs @ d
+
+
+def blocks_from_plane(plane: np.ndarray, block: int = 8) -> np.ndarray:
+    """Split a (H, W) plane into a (num_blocks, block, block) stack.
+
+    H and W must be multiples of ``block``.
+    """
+    h, w = plane.shape
+    if h % block or w % block:
+        raise ValueError(f"plane {plane.shape} not divisible into "
+                         f"{block}x{block} blocks")
+    return (plane.reshape(h // block, block, w // block, block)
+            .transpose(0, 2, 1, 3)
+            .reshape(-1, block, block))
+
+
+def plane_from_blocks(blocks: np.ndarray, height: int,
+                      width: int) -> np.ndarray:
+    """Inverse of :func:`blocks_from_plane`."""
+    b = blocks.shape[-1]
+    rows, cols = height // b, width // b
+    return (blocks.reshape(rows, cols, b, b)
+            .transpose(0, 2, 1, 3)
+            .reshape(height, width))

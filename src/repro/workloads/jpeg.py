@@ -1,0 +1,311 @@
+"""JPEG benchmark: baseline JPEG compression of a 256x384 24-bit image.
+
+Section 4.2: "1536 2-dimensional DCTs ... approximately 1.6 million
+multiply-accumulate operations."  The full pipeline is implemented:
+
+1. RGB -> YCbCr color conversion,
+2. 8x8 block splitting (luma plane: 256*384/64 = 1536 blocks),
+3. 2-D DCT per block — the MZIM-offloaded kernel (two 8x8 matmuls per
+   block, Section 5.4.1 maps the DCT matrix onto the full 8-input unitary
+   MZIM),
+4. quantization with the standard luminance/chrominance tables,
+5. zig-zag scan, run-length coding of AC terms, DC differential coding,
+6. Huffman-style entropy size accounting (code lengths from a canonical
+   table; the bitstream size is what the compression ratio reports).
+
+A decoder (:meth:`JPEGCompressor.decode_plane`) inverts steps 2-5 so tests
+can bound reconstruction error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accelerator import BlockMatmul
+from repro.workloads.base import MatmulPhase, Workload
+from repro.workloads.dct import (
+    blocks_from_plane,
+    dct_matrix,
+    idct2,
+    plane_from_blocks,
+)
+from repro.workloads.image_blur import synthetic_image
+
+#: Standard JPEG luminance quantization table (Annex K).
+LUMA_QUANT = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=float)
+
+#: Standard chrominance table (Annex K).
+CHROMA_QUANT = np.array([
+    [17, 18, 24, 47, 99, 99, 99, 99],
+    [18, 21, 26, 66, 99, 99, 99, 99],
+    [24, 26, 56, 99, 99, 99, 99, 99],
+    [47, 66, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+    [99, 99, 99, 99, 99, 99, 99, 99],
+], dtype=float)
+
+
+def zigzag_order(n: int = 8) -> np.ndarray:
+    """Index order of the zig-zag scan over an n x n block."""
+    order = sorted(((i + j, (i if (i + j) % 2 else j), i, j)
+                    for i in range(n) for j in range(n)))
+    return np.array([i * n + j for _, _, i, j in order])
+
+
+ZIGZAG = zigzag_order(8)
+
+
+def rgb_to_ycbcr(image: np.ndarray) -> np.ndarray:
+    """ITU-R BT.601 color conversion (inputs 0..255)."""
+    r, g, b = image[..., 0], image[..., 1], image[..., 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b
+    cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def downsample_2x2(plane: np.ndarray) -> np.ndarray:
+    """2x2 box averaging for 4:2:0 chroma subsampling.
+
+    Requires dimensions divisible by 16 so the subsampled plane still
+    splits into 8x8 blocks.
+    """
+    h, w = plane.shape
+    if h % 16 or w % 16:
+        raise ValueError(
+            f"4:2:0 subsampling needs dimensions divisible by 16, "
+            f"got {plane.shape}")
+    return plane.reshape(h // 2, 2, w // 2, 2).mean(axis=(1, 3))
+
+
+def upsample_2x2(plane: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour inverse of :func:`downsample_2x2`."""
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+
+
+def run_length_encode(ac: np.ndarray) -> list[tuple[int, int]]:
+    """JPEG-style (run, value) pairs with (0, 0) end-of-block."""
+    pairs: list[tuple[int, int]] = []
+    run = 0
+    for v in ac:
+        v = int(v)
+        if v == 0:
+            run += 1
+            if run == 16:
+                pairs.append((15, 0))  # ZRL
+                run = 0
+        else:
+            pairs.append((run, v))
+            run = 0
+    pairs.append((0, 0))  # EOB
+    return pairs
+
+
+def run_length_decode(pairs: list[tuple[int, int]], length: int = 63
+                      ) -> np.ndarray:
+    """Invert :func:`run_length_encode`."""
+    out = np.zeros(length)
+    pos = 0
+    for run, value in pairs:
+        if (run, value) == (0, 0):
+            break
+        if (run, value) == (15, 0):
+            pos += 16
+            continue
+        pos += run
+        if pos >= length:
+            raise ValueError("run-length stream overruns the block")
+        out[pos] = value
+        pos += 1
+    return out
+
+
+def magnitude_category(value: int) -> int:
+    """JPEG size category: bits needed for |value|."""
+    return int(value).bit_length() if value else 0
+
+
+def encoded_bits(dc_diffs: list[int],
+                 ac_streams: list[list[tuple[int, int]]]) -> int:
+    """Entropy-coded size of a plane, in bits.
+
+    Canonical-Huffman approximation: each DC difference costs a category
+    prefix (~2 + category/2 bits) plus its magnitude bits; each AC pair
+    costs a (run, size) prefix (~4 + run/4 + size/2) plus magnitude bits.
+    This tracks libjpeg's tables within a few percent on natural images.
+    """
+    bits = 0
+    for diff in dc_diffs:
+        cat = magnitude_category(diff)
+        bits += 2 + cat // 2 + cat
+    for stream in ac_streams:
+        for run, value in stream:
+            cat = magnitude_category(value)
+            bits += 4 + run // 4 + cat // 2 + cat
+    return bits
+
+
+@dataclass
+class EncodedPlane:
+    """One channel's compressed representation."""
+
+    height: int
+    width: int
+    quant: np.ndarray
+    dc_diffs: list[int]
+    ac_streams: list[list[tuple[int, int]]]
+
+    @property
+    def bits(self) -> int:
+        return encoded_bits(self.dc_diffs, self.ac_streams)
+
+
+class JPEGCompressor:
+    """Baseline JPEG encoder with a pluggable DCT implementation."""
+
+    def __init__(self, quality_scale: float = 1.0) -> None:
+        if quality_scale <= 0:
+            raise ValueError("quality_scale must be positive")
+        self.quality_scale = quality_scale
+
+    def _quant(self, table: np.ndarray) -> np.ndarray:
+        return np.maximum(1.0, table * self.quality_scale)
+
+    def encode_plane(self, plane: np.ndarray, chroma: bool = False,
+                     dct_fn=None) -> EncodedPlane:
+        """Encode one channel plane (dimensions multiples of 8)."""
+        blocks = blocks_from_plane(plane - 128.0)
+        if dct_fn is None:
+            d = dct_matrix(8)
+            coeffs = d @ blocks @ d.T
+        else:
+            coeffs = dct_fn(blocks)
+        quant = self._quant(CHROMA_QUANT if chroma else LUMA_QUANT)
+        quantized = np.round(coeffs / quant)
+        dc = quantized[:, 0, 0].astype(int)
+        dc_diffs = np.diff(dc, prepend=0).tolist()
+        ac_streams = []
+        flat = quantized.reshape(len(quantized), 64)[:, ZIGZAG]
+        for row in flat:
+            ac_streams.append(run_length_encode(row[1:]))
+        return EncodedPlane(plane.shape[0], plane.shape[1],
+                            quant, dc_diffs, ac_streams)
+
+    def decode_plane(self, enc: EncodedPlane) -> np.ndarray:
+        """Reconstruct a plane from its encoded form."""
+        num_blocks = len(enc.dc_diffs)
+        flat = np.zeros((num_blocks, 64))
+        dc = np.cumsum(enc.dc_diffs)
+        inverse_zz = np.argsort(ZIGZAG)
+        for i in range(num_blocks):
+            zz = np.concatenate(
+                ([dc[i]], run_length_decode(enc.ac_streams[i])))
+            flat[i] = zz[inverse_zz]
+        coeffs = flat.reshape(num_blocks, 8, 8) * enc.quant
+        blocks = idct2(coeffs) + 128.0
+        return plane_from_blocks(blocks, enc.height, enc.width)
+
+
+class JPEGWorkload(Workload):
+    """JPEG compression of a 256x384 24-bit image (Section 4.2)."""
+
+    name = "jpeg"
+
+    def __init__(self, height: int = 256, width: int = 384,
+                 seed: int = 41) -> None:
+        if height % 8 or width % 8:
+            raise ValueError("image dimensions must be multiples of 8")
+        self.image = synthetic_image(height, width, 3, seed)
+        self.height, self.width = height, width
+        self.compressor = JPEGCompressor()
+
+    @property
+    def luma_blocks(self) -> int:
+        return self.height * self.width // 64
+
+    def phases(self) -> list[MatmulPhase]:
+        # Two 8x8 matmul passes per block: D @ X then (D @ X) @ D.T.  As a
+        # batched MVM job: matrix D (8x8), vectors = 8 columns per block
+        # per pass.  The DCT matrix is reused across every block.
+        vectors = 2 * 8 * self.luma_blocks
+        return [MatmulPhase(
+            name="dct",
+            rows=8,
+            cols=8,
+            vectors=vectors,
+            weight_reuse=vectors,
+        )]
+
+    def extra_core_ops(self) -> int:
+        # Color conversion (~6 ops/px), quantization + zigzag + RLE/Huffman
+        # (~8 ops per coefficient).
+        px = self.height * self.width
+        return px * 6 + self.luma_blocks * 64 * 8
+
+    def _luma(self) -> np.ndarray:
+        return rgb_to_ycbcr(self.image)[..., 0]
+
+    def reference(self) -> np.ndarray:
+        """Quantized luma DCT coefficients (the offloaded kernel's output)."""
+        blocks = blocks_from_plane(self._luma() - 128.0)
+        d = dct_matrix(8)
+        return d @ blocks @ d.T
+
+    def photonic(self, mzim_size: int = 8, wavelengths: int = 8
+                 ) -> np.ndarray:
+        """DCT computed through the MZIM (Section 5.4.1's mapping)."""
+        blocks = blocks_from_plane(self._luma() - 128.0)
+        d = dct_matrix(8)
+        matmul = BlockMatmul(d, mzim_size, wavelengths)
+        num = len(blocks)
+        # Pass 1: D @ X for every block (columns of X as vectors).
+        stage1 = matmul(blocks.transpose(0, 2, 1).reshape(num * 8, 8).T)
+        stage1 = stage1.T.reshape(num, 8, 8).transpose(0, 2, 1)
+        # Pass 2: result @ D.T == (D @ result.T).T per block.
+        stage2 = matmul(stage1.reshape(num * 8, 8).T)
+        return stage2.T.reshape(num, 8, 8)
+
+    def compress(self, dct_fn=None,
+                 subsample: bool = False) -> dict[str, EncodedPlane]:
+        """Full-pipeline compression of all three channels.
+
+        ``subsample`` enables 4:2:0 chroma subsampling (2x2 averaging of
+        Cb/Cr before encoding), the standard JPEG configuration; the
+        default 4:4:4 keeps full chroma resolution.
+        """
+        ycbcr = rgb_to_ycbcr(self.image)
+        cb, cr = ycbcr[..., 1], ycbcr[..., 2]
+        if subsample:
+            cb = downsample_2x2(cb)
+            cr = downsample_2x2(cr)
+        return {
+            "y": self.compressor.encode_plane(ycbcr[..., 0], False, dct_fn),
+            "cb": self.compressor.encode_plane(cb, True, dct_fn),
+            "cr": self.compressor.encode_plane(cr, True, dct_fn),
+        }
+
+    def compression_ratio(self, subsample: bool = False) -> float:
+        planes = self.compress(subsample=subsample)
+        compressed_bits = sum(p.bits for p in planes.values())
+        raw_bits = self.height * self.width * 24
+        return raw_bits / compressed_bits
+
+    def block_matmuls(self, mzim_size: int = 8,
+                      wavelengths: int = 8) -> dict[str, BlockMatmul]:
+        phase = self.phases()[0]
+        return {self.matrix_key(phase): BlockMatmul(
+            dct_matrix(8), mzim_size, wavelengths)}

@@ -1,0 +1,102 @@
+"""3D Rotation benchmark: rotating a 306-vertex wire-frame object.
+
+Section 4.2: each vertex is a 4-element homogeneous vector; the
+transformation matrix is (4 x 4).  The rotation matrix maps onto two
+4-input SVD sub-MZIMs with no partial sums to accumulate, which is why
+this benchmark shows the largest energy reduction (Section 5.4.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.accelerator import BlockMatmul
+from repro.workloads.base import MatmulPhase, Workload
+
+
+def wireframe_vertices(count: int = 306, seed: int = 53) -> np.ndarray:
+    """A deterministic wire-frame object: a latitude/longitude sphere mesh.
+
+    Returns homogeneous coordinates of shape ``(4, count)``.
+    """
+    rings = 17
+    per_ring = count // rings
+    vertices = []
+    for r in range(rings):
+        phi = math.pi * (r + 0.5) / rings
+        for s in range(per_ring):
+            theta = 2.0 * math.pi * s / per_ring
+            vertices.append((math.sin(phi) * math.cos(theta),
+                             math.sin(phi) * math.sin(theta),
+                             math.cos(phi)))
+    rng = np.random.default_rng(seed)
+    while len(vertices) < count:
+        v = rng.normal(size=3)
+        vertices.append(tuple(v / np.linalg.norm(v)))
+    pts = np.array(vertices[:count]).T  # (3, count)
+    return np.vstack([pts, np.ones(count)])
+
+
+def rotation_matrix(yaw: float, pitch: float, roll: float) -> np.ndarray:
+    """Homogeneous (4 x 4) rotation: Rz(yaw) @ Ry(pitch) @ Rx(roll)."""
+    cy, sy = math.cos(yaw), math.sin(yaw)
+    cp, sp = math.cos(pitch), math.sin(pitch)
+    cr, sr = math.cos(roll), math.sin(roll)
+    rz = np.array([[cy, -sy, 0], [sy, cy, 0], [0, 0, 1]])
+    ry = np.array([[cp, 0, sp], [0, 1, 0], [-sp, 0, cp]])
+    rx = np.array([[1, 0, 0], [0, cr, -sr], [0, sr, cr]])
+    hom = np.eye(4)
+    hom[:3, :3] = rz @ ry @ rx
+    return hom
+
+
+class Rotation3D(Workload):
+    """Rotate a wire-frame object through the MZIM."""
+
+    name = "rotation3d"
+    #: A 306-vertex transform does not scale across many cores; two cores
+    #: (one chiplet pair) is the realistic parallelism.
+    parallel_cores = 2
+
+    def __init__(self, vertices: int = 306,
+                 yaw: float = 0.61, pitch: float = 0.37,
+                 roll: float = 0.23, seed: int = 53) -> None:
+        self.vertices = wireframe_vertices(vertices, seed)
+        self.matrix = rotation_matrix(yaw, pitch, roll)
+        self.count = vertices
+
+    def phases(self) -> list[MatmulPhase]:
+        return [MatmulPhase(
+            name="rotate",
+            rows=4,
+            cols=4,
+            vectors=self.count,
+            weight_reuse=self.count,
+            elem_b=4,  # fp32 vertex data
+        )]
+
+    def extra_core_ops(self) -> int:
+        # Perspective divide + viewport transform + edge draw per vertex.
+        return self.count * 12
+
+    def reference(self) -> np.ndarray:
+        return self.matrix @ self.vertices
+
+    def photonic(self, mzim_size: int = 4, wavelengths: int = 8
+                 ) -> np.ndarray:
+        matmul = BlockMatmul(self.matrix, mzim_size, wavelengths)
+        return matmul(self.vertices)
+
+    def block_matmuls(self, mzim_size: int = 4,
+                      wavelengths: int = 8) -> dict[str, BlockMatmul]:
+        phase = self.phases()[0]
+        return {self.matrix_key(phase): BlockMatmul(
+            self.matrix, mzim_size, wavelengths)}
+
+    def rotations_preserve_length(self) -> bool:
+        """Invariant: rotation does not change vertex norms."""
+        before = np.linalg.norm(self.vertices[:3], axis=0)
+        after = np.linalg.norm(self.reference()[:3], axis=0)
+        return bool(np.allclose(before, after))

@@ -1,0 +1,63 @@
+"""VGG16 FC benchmark: the FC-1000 layer of an 8-bit quantized VGG16.
+
+Section 4.2: a 4096-element input vector multiplied by a (1000 x 4096)
+weight matrix plus a 1000-element bias — approximately 4.1 million MACs.
+The weight matrix lives in the MZIM; the input activations are the optical
+inputs.  Low operand reuse (each weight used once) makes this the
+worst-scaling benchmark (Section 5.4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.accelerator import BlockMatmul
+from repro.workloads.base import MatmulPhase, Workload
+
+
+def quantized_weights(rows: int, cols: int, seed: int = 23) -> np.ndarray:
+    """Synthetic 8-bit quantized weights in [-127, 127] / 127."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(-127, 128, size=(rows, cols)).astype(float) / 127.0
+
+
+class VGG16FC(Workload):
+    """The FC-1000 layer as a single large MVM."""
+
+    name = "vgg16_fc"
+
+    def __init__(self, outputs: int = 1000, inputs: int = 4096,
+                 seed: int = 23) -> None:
+        self.weights = quantized_weights(outputs, inputs, seed)
+        self.bias = quantized_weights(outputs, 1, seed + 1).ravel()
+        rng = np.random.default_rng(seed + 2)
+        self.activations = rng.integers(
+            0, 128, size=inputs).astype(float) / 127.0
+        self.outputs, self.inputs = outputs, inputs
+
+    def phases(self) -> list[MatmulPhase]:
+        return [MatmulPhase(
+            name="fc1000",
+            rows=self.outputs,
+            cols=self.inputs,
+            vectors=1,
+            weight_reuse=1,
+        )]
+
+    def extra_core_ops(self) -> int:
+        # Bias add + activation quantize/store per output.
+        return self.outputs * 3
+
+    def reference(self) -> np.ndarray:
+        return self.weights @ self.activations + self.bias
+
+    def photonic(self, mzim_size: int = 8, wavelengths: int = 8
+                 ) -> np.ndarray:
+        matmul = BlockMatmul(self.weights, mzim_size, wavelengths)
+        return matmul(self.activations) + self.bias
+
+    def block_matmuls(self, mzim_size: int = 8,
+                      wavelengths: int = 8) -> dict[str, BlockMatmul]:
+        phase = self.phases()[0]
+        return {self.matrix_key(phase): BlockMatmul(
+            self.weights, mzim_size, wavelengths)}

@@ -1,0 +1,109 @@
+"""Tests for metrics, report rendering, and sweep helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    edp_reduction,
+    energy_reduction,
+    geomean,
+    percent_reduction,
+    reductions_vs,
+    speedup,
+)
+from repro.analysis.report import ascii_chart, format_ratio, format_table
+from repro.analysis.sweep import best_of, knee_of, sweep
+from repro.core.system import WorkloadRun
+from repro.multicore.energy import EnergyBreakdown
+
+
+def run(runtime, energy, name="wl", cfg="mesh"):
+    return WorkloadRun(workload=name, configuration=cfg,
+                       runtime_s=runtime,
+                       energy=EnergyBreakdown(core=energy))
+
+
+class TestMetrics:
+    def test_geomean_of_constants(self):
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_mixed(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(run(2.0, 1.0), run(0.5, 1.0)) == pytest.approx(4.0)
+
+    def test_energy_reduction(self):
+        assert energy_reduction(run(1, 9.0), run(1, 3.0)) == pytest.approx(3.0)
+
+    def test_edp_combines_both(self):
+        base = run(2.0, 4.0)
+        cand = run(1.0, 1.0)
+        assert edp_reduction(base, cand) == pytest.approx(8.0)
+
+    def test_reductions_vs(self):
+        runs = {"mesh": run(2.0, 4.0), "flumen_a": run(1.0, 2.0)}
+        r = reductions_vs(runs, "mesh")
+        assert r == {"speedup": pytest.approx(2.0),
+                     "energy": pytest.approx(2.0),
+                     "edp": pytest.approx(4.0)}
+
+    def test_percent_reduction(self):
+        assert percent_reduction(100.0, 23.0) == pytest.approx(77.0)
+        with pytest.raises(ValueError):
+            percent_reduction(0.0, 1.0)
+
+
+class TestReport:
+    def test_table_contains_all_cells(self):
+        t = format_table(["a", "b"], [[1, 2.5], ["x", 0.001]], title="T")
+        assert "T" in t and "2.50" in t and "0.001" in t and "x" in t
+
+    def test_table_alignment(self):
+        t = format_table(["col"], [[123456]])
+        lines = t.splitlines()
+        assert len(lines[0]) == len(lines[-1])
+
+    def test_ascii_chart_renders_markers(self):
+        chart = ascii_chart({"s1": [(0, 1), (1, 2)], "s2": [(0, 2), (1, 4)]})
+        assert "*" in chart and "o" in chart
+        assert "s1" in chart and "s2" in chart
+
+    def test_ascii_chart_log_scale(self):
+        chart = ascii_chart({"s": [(0, 1), (1, 1000)]}, log_y=True)
+        assert "log scale" in chart
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_format_ratio(self):
+        assert format_ratio(2.49) == "2.5x"
+
+
+class TestSweep:
+    def test_sweep_evaluates_all_points(self):
+        pts = sweep("tau", [1, 2, 3], lambda v: {"m": v * 2.0})
+        assert [p.metrics["m"] for p in pts] == [2.0, 4.0, 6.0]
+
+    def test_knee_detection(self):
+        pts = sweep("tau", [100, 150, 200, 250],
+                    lambda v: {"served": 10.0 if v <= 170 else 2.0})
+        assert knee_of(pts, "served") == 200
+
+    def test_knee_none_when_flat(self):
+        pts = sweep("x", [1, 2], lambda v: {"m": 5.0})
+        assert knee_of(pts, "m") is None
+
+    def test_best_of(self):
+        pts = sweep("eta", [0.2, 0.4, 0.6],
+                    lambda v: {"score": -(v - 0.4) ** 2})
+        assert best_of(pts, "score").value == pytest.approx(0.4)
+
+    def test_best_of_minimize(self):
+        pts = sweep("x", [1, 2, 3], lambda v: {"cost": v})
+        assert best_of(pts, "cost", minimize=True).value == 1

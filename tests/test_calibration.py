@@ -1,0 +1,94 @@
+"""Tests for in-situ mesh self-configuration."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.calibration import (
+    PhaseOffsets,
+    PhysicalMesh,
+    calibrate_by_decomposition,
+    calibrate_to,
+    matrix_error,
+    self_configure,
+)
+from repro.photonics.clements import decompose, random_unitary
+
+
+def target(n=6, seed=1):
+    return random_unitary(n, np.random.default_rng(seed))
+
+
+class TestPhysicalMesh:
+    def test_zero_offsets_realize_ideal(self):
+        u = target()
+        mesh = PhysicalMesh(decompose(u), PhaseOffsets.none(15))
+        assert matrix_error(mesh.measure(), u) < 1e-12
+
+    def test_offsets_corrupt_the_matrix(self):
+        u = target()
+        mesh = PhysicalMesh(decompose(u),
+                            PhaseOffsets.random(15, 0.1))
+        assert matrix_error(mesh.measure(), u) > 0.05
+
+    def test_offset_count_checked(self):
+        with pytest.raises(ValueError):
+            PhysicalMesh(decompose(target()), PhaseOffsets.none(3))
+
+    def test_measurements_counted(self):
+        mesh = PhysicalMesh(decompose(target()), PhaseOffsets.none(15))
+        mesh.measure()
+        mesh.measure()
+        assert mesh.measurements == 2
+
+    def test_program_changes_realization(self):
+        u = target()
+        mesh = PhysicalMesh(decompose(u), PhaseOffsets.none(15))
+        before = mesh.measure().copy()
+        mesh.program(0, 0.5, 0.5)
+        assert not np.allclose(mesh.measure(), before)
+
+
+class TestDecompositionCalibration:
+    @pytest.mark.parametrize("sigma", [0.02, 0.1, 0.3])
+    def test_machine_precision_recovery(self, sigma):
+        u = target(8, 3)
+        offsets = PhaseOffsets.random(28, sigma,
+                                      np.random.default_rng(4))
+        result = calibrate_to(u, offsets, method="decomposition")
+        assert result.final_error < 1e-9
+        assert result.sweeps_used <= 2
+
+    def test_history_monotone(self):
+        u = target(6, 5)
+        offsets = PhaseOffsets.random(15, 0.2, np.random.default_rng(6))
+        result = calibrate_to(u, offsets)
+        assert result.history == sorted(result.history, reverse=True)
+
+    def test_improvement_reported(self):
+        u = target(6, 7)
+        offsets = PhaseOffsets.random(15, 0.1, np.random.default_rng(8))
+        result = calibrate_to(u, offsets)
+        assert result.improvement > 1e6
+
+
+class TestCoordinateDescentCalibration:
+    def test_descent_improves_error(self):
+        u = target(5, 9)
+        offsets = PhaseOffsets.random(10, 0.05,
+                                      np.random.default_rng(10))
+        result = calibrate_to(u, offsets, sweeps=3, method="descent")
+        assert result.final_error < result.initial_error / 3
+
+    def test_descent_converged_mesh_usable(self):
+        u = target(4, 11)
+        mesh = PhysicalMesh(decompose(u),
+                            PhaseOffsets.random(6, 0.05,
+                                                np.random.default_rng(12)))
+        self_configure(mesh, u, sweeps=4)
+        assert matrix_error(mesh.measure(), u) < 0.05
+
+
+class TestAPI:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_to(target(), PhaseOffsets.none(15), method="magic")

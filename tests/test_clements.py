@@ -1,0 +1,221 @@
+"""Tests for the Clements rectangular-mesh decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.clements import (
+    DecompositionError,
+    MZIMesh,
+    decompose,
+    is_unitary,
+    random_unitary,
+)
+from repro.photonics.devices import MZIState
+
+
+def haar(n: int, seed: int) -> np.ndarray:
+    return random_unitary(n, np.random.default_rng(seed))
+
+
+class TestIsUnitary:
+    def test_identity_is_unitary(self):
+        assert is_unitary(np.eye(5))
+
+    def test_permutation_is_unitary(self):
+        assert is_unitary(np.eye(4)[[2, 0, 3, 1]])
+
+    def test_scaled_identity_is_not(self):
+        assert not is_unitary(0.5 * np.eye(3))
+
+    def test_rectangular_is_not(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_haar_random_is_unitary(self):
+        assert is_unitary(haar(7, 0))
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 12, 16])
+    def test_reconstruction_machine_precision(self, n):
+        u = haar(n, n)
+        mesh = decompose(u)
+        assert np.allclose(mesh.matrix(), u, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8, 16])
+    def test_mzi_count_is_n_choose_2(self, n):
+        mesh = decompose(haar(n, n + 100))
+        assert mesh.num_mzis == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_rectangular_depth_is_n_columns(self, n):
+        # The Clements arrangement is optimally shallow: N columns.
+        mesh = decompose(haar(n, n + 200))
+        assert mesh.num_columns <= n
+
+    def test_identity_gives_trivial_phases(self):
+        mesh = decompose(np.eye(6))
+        assert np.allclose(mesh.matrix(), np.eye(6), atol=1e-12)
+
+    def test_single_mode(self):
+        mesh = decompose(np.array([[1j]]))
+        assert mesh.num_mzis == 0
+        assert np.allclose(mesh.matrix(), [[1j]])
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(DecompositionError):
+            decompose(np.ones((4, 4)))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(DecompositionError):
+            decompose(np.ones((3, 4)))
+
+    def test_propagate_matches_matrix_product(self):
+        u = haar(8, 7)
+        mesh = decompose(u)
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        assert np.allclose(mesh.propagate(a), u @ a, atol=1e-12)
+
+    def test_propagate_wdm_batch(self):
+        u = haar(6, 8)
+        mesh = decompose(u)
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((6, 5)) + 1j * rng.standard_normal((6, 5))
+        assert np.allclose(mesh.propagate(a), u @ a, atol=1e-12)
+
+    def test_propagate_rejects_wrong_dimension(self):
+        mesh = decompose(haar(4, 11))
+        with pytest.raises(ValueError):
+            mesh.propagate(np.ones(5, dtype=complex))
+
+    def test_output_phases_are_unit_magnitude(self):
+        mesh = decompose(haar(9, 12))
+        assert np.allclose(np.abs(mesh.output_phases), 1.0, atol=1e-9)
+
+    def test_theta_within_physical_range(self):
+        mesh = decompose(haar(10, 13))
+        for mzi in mesh.mzis:
+            assert -1e-9 <= mzi.theta <= math.pi + 1e-9
+
+    def test_permutation_yields_pure_cross_bar(self):
+        rng = np.random.default_rng(14)
+        perm = np.eye(8)[list(rng.permutation(8))]
+        mesh = decompose(perm)
+        for mzi in mesh.mzis:
+            assert min(abs(mzi.theta), abs(mzi.theta - math.pi)) < 1e-9
+
+    def test_real_rotation_matrix(self):
+        t = 0.7
+        rot = np.array([[math.cos(t), -math.sin(t)],
+                        [math.sin(t), math.cos(t)]])
+        mesh = decompose(rot)
+        assert np.allclose(mesh.matrix(), rot, atol=1e-12)
+
+
+class TestColumnAssignment:
+    def test_columns_respect_mode_conflicts(self):
+        mesh = decompose(haar(8, 20))
+        # No two MZIs sharing a mode may share a column.
+        seen: dict[tuple[int, int], int] = {}
+        for mzi in mesh.mzis:
+            for mode in (mzi.top_mode, mzi.top_mode + 1):
+                key = (mode, mzi.column)
+                assert key not in seen, "mode/column conflict"
+                seen[key] = 1
+
+    def test_columns_nondecreasing_dependencies(self):
+        mesh = decompose(haar(8, 21))
+        last_col_for_mode = [-1] * 8
+        for mzi in mesh.mzis:
+            m = mzi.top_mode
+            assert mzi.column > last_col_for_mode[m] or \
+                mzi.column > last_col_for_mode[m + 1] or \
+                (last_col_for_mode[m] == -1 and last_col_for_mode[m + 1] == -1)
+            last_col_for_mode[m] = mzi.column
+            last_col_for_mode[m + 1] = mzi.column
+
+    def test_column_of_matches_state(self):
+        mesh = decompose(haar(6, 22))
+        for idx, mzi in enumerate(mesh.mzis):
+            assert mesh.column_of(idx) == mzi.column
+
+
+class TestPathTracing:
+    def test_identity_mesh_has_no_hops(self):
+        mesh = MZIMesh(n=4)
+        hops = mesh.mzis_per_path()
+        assert (np.diag(hops) == 0).all()
+        off_diag = hops[~np.eye(4, dtype=bool)]
+        assert (off_diag == -1).all()
+
+    def test_permutation_paths_connected_only_to_targets(self):
+        rng = np.random.default_rng(30)
+        targets = list(rng.permutation(8))
+        perm = np.zeros((8, 8))
+        for src, dst in enumerate(targets):
+            perm[dst, src] = 1.0
+        mesh = decompose(perm)
+        hops = mesh.mzis_per_path()
+        for src, dst in enumerate(targets):
+            assert hops[dst, src] >= 0
+            for other in range(8):
+                if other != dst:
+                    assert hops[other, src] == -1
+
+    def test_path_lengths_vary_in_permutation_mesh(self):
+        # The paper (Section 3.1.2): path lengths differ, motivating the
+        # attenuator column.
+        rng = np.random.default_rng(31)
+        lengths = set()
+        for seed in range(6):
+            targets = list(np.random.default_rng(seed).permutation(8))
+            perm = np.zeros((8, 8))
+            for src, dst in enumerate(targets):
+                perm[dst, src] = 1.0
+            hops = decompose(perm).mzis_per_path()
+            lengths.update(int(hops[dst, src])
+                           for src, dst in enumerate(targets))
+        assert len(lengths) > 1
+
+    def test_hops_bounded_by_mesh_depth(self):
+        u = haar(8, 33)
+        mesh = decompose(u)
+        hops = mesh.mzis_per_path()
+        assert hops.max() <= mesh.num_columns
+
+
+class TestRandomUnitary:
+    def test_output_is_unitary(self):
+        assert is_unitary(random_unitary(12, np.random.default_rng(1)))
+
+    def test_deterministic_with_seeded_rng(self):
+        a = random_unitary(5, np.random.default_rng(42))
+        b = random_unitary(5, np.random.default_rng(42))
+        assert np.allclose(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=10),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_decompose_reconstructs_any_unitary(n, seed):
+    u = haar(n, seed)
+    mesh = decompose(u)
+    assert np.allclose(mesh.matrix(), u, atol=1e-10)
+    assert mesh.num_mzis == n * (n - 1) // 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_propagation_preserves_energy(n, seed):
+    # Unitary meshes conserve total optical power.
+    u = haar(n, seed)
+    mesh = decompose(u)
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    b = mesh.propagate(a)
+    assert np.linalg.norm(b) == pytest.approx(np.linalg.norm(a), rel=1e-9)

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "MZIM ports" in out
+        assert "vgg16_fc" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "9.46" in out
+        assert "162.6" in out
+
+    def test_compute(self, capsys):
+        assert main(["compute"]) == 0
+        out = capsys.readouterr().out
+        assert "64x64" in out
+        assert "advantage" in out
+
+    def test_latency_small(self, capsys):
+        assert main(["latency", "--topology", "flumen",
+                     "--pattern", "shuffle", "--cycles", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "flumen / shuffle" in out
+
+    def test_system_rotation(self, capsys):
+        assert main(["system", "--workload", "rotation3d"]) == 0
+        out = capsys.readouterr().out
+        assert "flumen_a" in out
+        assert "speedup" in out
+
+    def test_system_unknown_workload(self, capsys):
+        assert main(["system", "--workload", "nope"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

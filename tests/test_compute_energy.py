@@ -1,0 +1,143 @@
+"""Tests for the MZIM compute energy model (Section 5.3, Figure 12b/c)."""
+
+import math
+
+import pytest
+
+from repro.photonics.compute_energy import (
+    ELECTRICAL_MAC_ENERGY_J,
+    ComputeCalibration,
+    MZIMComputeModel,
+)
+
+
+@pytest.fixture
+def model():
+    return MZIMComputeModel()
+
+
+class TestElectricalBaseline:
+    def test_mac_energy_anchor(self):
+        # 69.2 pJ for an 8x8 matmul with 4 vectors = 256 MACs.
+        assert ELECTRICAL_MAC_ENERGY_J == pytest.approx(0.2703e-12, rel=1e-3)
+
+    def test_electrical_matmul_scales_with_macs(self, model):
+        assert model.electrical_matmul_energy(8, 4) == pytest.approx(69.2e-12)
+        assert model.electrical_matmul_energy(16, 8) == pytest.approx(
+            554e-12, rel=1e-2)
+
+
+class TestStructure:
+    def test_svd_mzi_count(self, model):
+        assert model.svd_mzi_count(8) == 64
+        assert model.svd_mzi_count(64) == 4096
+
+    def test_mesh_depth(self, model):
+        assert model.mesh_columns(8) == 17
+
+    def test_window_includes_programming(self, model):
+        with_prog = model.window_s(1)
+        without = model.window_s(1, include_programming=False)
+        assert with_prog - without == pytest.approx(6e-9)
+
+    def test_window_serializes_beyond_wavelengths(self, model):
+        # 8 compute wavelengths: 9 vectors need a second input cycle.
+        t8 = model.window_s(8, include_programming=False)
+        t9 = model.window_s(9, include_programming=False)
+        assert t9 == pytest.approx(2 * t8)
+
+    def test_invalid_args_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.matmul_energy(1, 4)
+        with pytest.raises(ValueError):
+            model.matmul_energy(8, 0)
+
+
+class TestPaperAnchors:
+    """Figure 12(b) / Section 5.3 absolute anchors."""
+
+    def test_8x8_4vec_near_33_8pj(self, model):
+        e = model.matmul_energy(8, 4)
+        assert e.total == pytest.approx(33.8e-12, rel=0.15)
+
+    def test_64x64_anchors(self, model):
+        for vectors, paper in [(1, 0.62e-9), (4, 1.32e-9), (8, 2.24e-9)]:
+            e = model.matmul_energy(64, vectors)
+            assert e.total == pytest.approx(paper, rel=0.15), vectors
+
+    def test_8x8_4vec_beats_electrical_by_about_2x(self, model):
+        ratio = (model.electrical_matmul_energy(8, 4)
+                 / model.matmul_energy(8, 4).total)
+        assert 1.5 < ratio < 3.0
+
+    def test_advantage_grows_with_mzim_size(self, model):
+        # Section 5.3: 2x at 8x8/4vec -> ~7x at 16x16/8vec.  Note the paper
+        # itself is non-monotone past 16x16 (7x at 16x16 but 4.0x at 64x64
+        # with 8 MVMs), so the claim under test is growth from 8 to 16 and
+        # a still-substantial advantage at 64.
+        r8 = (model.electrical_matmul_energy(8, 8)
+              / model.matmul_energy(8, 8).total)
+        r16 = (model.electrical_matmul_energy(16, 8)
+               / model.matmul_energy(16, 8).total)
+        r64 = (model.electrical_matmul_energy(64, 8)
+               / model.matmul_energy(64, 8).total)
+        assert r16 > r8
+        assert r64 > 3.0
+
+    def test_advantage_grows_with_vector_count(self, model):
+        # 64x64: 1.8x -> 3.4x -> 4.0x for 1/4/8 MVMs.
+        ratios = [model.electrical_matmul_energy(64, v)
+                  / model.matmul_energy(64, v).total for v in (1, 4, 8)]
+        assert ratios == sorted(ratios)
+        assert ratios[0] == pytest.approx(1.8, rel=0.25)
+        assert ratios[2] == pytest.approx(4.0, rel=0.25)
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self, model):
+        e = model.matmul_energy(16, 4)
+        assert e.static + e.laser + e.io == pytest.approx(e.total)
+
+    def test_static_dominated_by_mzi_count(self, model):
+        # Section 5.3: phase-shifter DACs dominate static power.
+        small = model.matmul_energy(8, 1).static
+        large = model.matmul_energy(64, 1).static
+        assert large / small == pytest.approx(64.0, rel=1e-6)
+
+    def test_per_mac_energy_positive(self, model):
+        assert model.matmul_energy(8, 4).per_mac > 0
+
+
+class TestMacEnergySweep:
+    def test_energy_per_mac_improves_with_dimension(self, model):
+        # Figure 12(c): bigger MZIMs amortize static power over more MACs.
+        grid = model.mac_energy_sweep([8, 16, 32, 64], [8])
+        series = [grid[(n, 8)] for n in (8, 16, 32, 64)]
+        assert series[0] > series[-1]
+
+    def test_energy_per_mac_improves_with_wavelengths(self, model):
+        # More wavelengths amortize the per-window static energy over more
+        # concurrent MVMs (saturated windows: p vectors on p wavelengths).
+        grid = model.mac_energy_sweep([16], [1, 2, 4, 8])
+        series = [grid[(16, p)] for p in (1, 2, 4, 8)]
+        assert series == sorted(series, reverse=True)
+        assert series[0] > series[-1]
+
+    def test_grid_covers_all_points(self, model):
+        grid = model.mac_energy_sweep([8, 16], [2, 4])
+        assert set(grid) == {(8, 2), (8, 4), (16, 2), (16, 4)}
+
+
+class TestCalibrationOverride:
+    def test_custom_calibration_changes_result(self):
+        base = MZIMComputeModel()
+        hot = MZIMComputeModel(
+            calibration=ComputeCalibration(hold_power_per_mzi_w=1e-3))
+        assert hot.matmul_energy(8, 1).static > \
+            base.matmul_energy(8, 1).static
+
+    def test_speedup_window(self):
+        model = MZIMComputeModel()
+        photonic, electrical = model.speedup_window_s(
+            64, 8, core_macs_per_s=5e9)
+        assert photonic < electrical  # 32768 MACs at 5 GMAC/s >> 6.2 ns

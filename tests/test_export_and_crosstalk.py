@@ -1,0 +1,122 @@
+"""Tests for result export utilities and WDM crosstalk modeling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    runs_to_records,
+    sweep_to_records,
+    to_csv,
+    to_json,
+    write_records,
+)
+from repro.core.system import WorkloadRun
+from repro.multicore.energy import EnergyBreakdown
+from repro.noc.simulation import SweepConfig, load_sweep
+from repro.photonics.noise import AnalogMVM, wdm_crosstalk_matrix
+from repro.photonics.svd import program_svd
+
+
+def fake_runs():
+    return {"wl": {
+        "mesh": WorkloadRun("wl", "mesh", 1e-3,
+                            EnergyBreakdown(core=1.0, nop=0.5)),
+        "flumen_a": WorkloadRun("wl", "flumen_a", 5e-4,
+                                EnergyBreakdown(core=0.4, mzim=0.1),
+                                offloaded_macs=100),
+    }}
+
+
+class TestExport:
+    def test_runs_to_records_structure(self):
+        records = runs_to_records(fake_runs())
+        assert len(records) == 2
+        rec = next(r for r in records if r["configuration"] == "flumen_a")
+        assert rec["offloaded_macs"] == 100
+        assert rec["energy_mzim_j"] == pytest.approx(0.1)
+        assert rec["energy_total_j"] == pytest.approx(0.5)
+
+    def test_csv_roundtrip_columns(self):
+        text = to_csv(runs_to_records(fake_runs()))
+        header, *rows = text.strip().splitlines()
+        assert "workload" in header
+        assert len(rows) == 2
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_json_parses(self):
+        parsed = json.loads(to_json(runs_to_records(fake_runs())))
+        assert len(parsed) == 2
+
+    def test_sweep_records(self):
+        results = load_sweep("flumen", "uniform", [0.1],
+                             SweepConfig(cycles=400, warmup=100))
+        records = sweep_to_records(results)
+        assert records[0]["topology"] == "flumen"
+        assert records[0]["avg_latency"] > 0
+
+    def test_write_records(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_records(runs_to_records(fake_runs()), str(path))
+        assert path.read_text().startswith("workload")
+        jpath = tmp_path / "out.json"
+        write_records(runs_to_records(fake_runs()), str(jpath))
+        assert json.loads(jpath.read_text())
+
+    def test_write_rejects_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_records([], str(tmp_path / "out.xlsx"))
+
+
+class TestWDMCrosstalk:
+    def test_matrix_rows_conserve_power(self):
+        m = wdm_crosstalk_matrix(8, 30.0)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_leak_magnitude(self):
+        m = wdm_crosstalk_matrix(4, 20.0)
+        assert m[0, 1] == pytest.approx(0.01)
+
+    def test_single_channel_identity(self):
+        assert np.allclose(wdm_crosstalk_matrix(1, 30.0), [[1.0]])
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            wdm_crosstalk_matrix(0, 30.0)
+
+    def test_crosstalk_degrades_accuracy(self):
+        mtx = np.random.default_rng(0).standard_normal((8, 8))
+        prog = program_svd(mtx)
+        x = np.random.default_rng(1).standard_normal((8, 8))
+        ref = mtx @ x
+
+        def error(xt_db):
+            mvm = AnalogMVM(prog, crosstalk_db=xt_db,
+                            rng=np.random.default_rng(2))
+            return np.abs(mvm(x) - ref).max()
+
+        clean = error(None)
+        mild = error(30.0)
+        harsh = error(10.0)
+        assert harsh > mild
+        assert harsh > clean
+
+    def test_default_crosstalk_barely_hurts(self):
+        mtx = np.random.default_rng(3).standard_normal((8, 8))
+        prog = program_svd(mtx)
+        x = np.random.default_rng(4).standard_normal((8, 8))
+        ref = mtx @ x
+        mvm = AnalogMVM(prog, rng=np.random.default_rng(5))
+        rel = np.abs(mvm(x) - ref).max() / np.abs(ref).max()
+        assert rel < 0.15  # 30 dB ring isolation is adequate
+
+    def test_single_vector_skips_crosstalk(self):
+        mtx = np.eye(4)
+        prog = program_svd(mtx)
+        v = np.array([1.0, 0.5, -0.5, 0.25])
+        out = AnalogMVM(prog, crosstalk_db=10.0,
+                        rng=np.random.default_rng(6))(v)
+        assert out.shape == (4,)

@@ -1,0 +1,251 @@
+"""Tests for the Flumen fabric: partitioning, programming, loss accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.photonics.fabric import (
+    COLUMN_PITCH_CM,
+    FabricError,
+    FlumenFabric,
+    PartitionKind,
+)
+from repro.photonics.routing import RoutingError
+
+
+def make_fabric(n=8):
+    return FlumenFabric(n)
+
+
+class TestConstruction:
+    def test_mzi_inventory(self):
+        # Unitary mesh N(N-1)/2 + attenuator column N (Section 3.1.2).
+        fab = make_fabric(8)
+        assert fab.num_mesh_mzis == 28
+        assert fab.num_attenuator_mzis == 8
+        assert fab.num_mzis == 36
+
+    def test_mesh_depth_includes_attenuator_column(self):
+        assert make_fabric(8).mesh_columns == 9
+
+    def test_rejects_odd_or_small_port_counts(self):
+        for bad in (0, 2, 3, 5, 7):
+            with pytest.raises(ValueError):
+                FlumenFabric(bad)
+
+    def test_starts_as_single_comm_partition(self):
+        fab = make_fabric()
+        assert len(fab.partitions) == 1
+        assert fab.partitions[0].kind is PartitionKind.COMMUNICATION
+        assert fab.communication_ports() == list(range(8))
+
+
+class TestPartitioning:
+    def test_split_even_yields_two_halves(self):
+        fab = make_fabric(8)
+        top, bottom = fab.split_even()
+        assert (top.lo, top.hi) == (0, 4)
+        assert (bottom.lo, bottom.hi) == (4, 8)
+        assert all(p.kind is PartitionKind.COMPUTE
+                   for p in fab.compute_partitions())
+
+    def test_split_even_requires_divisible_by_4(self):
+        with pytest.raises(FabricError):
+            FlumenFabric(6).split_even()
+
+    def test_split_even_requires_unpartitioned_fabric(self):
+        fab = make_fabric(8)
+        fab.split(0, 2)
+        with pytest.raises(FabricError):
+            fab.split_even()
+
+    def test_split_carves_three_way(self):
+        fab = make_fabric(8)
+        fab.split(2, 6)
+        kinds = [(p.lo, p.hi, p.kind) for p in fab.partitions]
+        assert kinds == [
+            (0, 2, PartitionKind.COMMUNICATION),
+            (2, 6, PartitionKind.COMPUTE),
+            (6, 8, PartitionKind.COMMUNICATION),
+        ]
+
+    def test_split_rejects_odd_size(self):
+        with pytest.raises(FabricError):
+            make_fabric().split(0, 3)
+
+    def test_split_rejects_crossing_boundary(self):
+        fab = make_fabric(8)
+        fab.split(0, 4)
+        with pytest.raises(FabricError):
+            fab.split(2, 6)
+
+    def test_barrier_rows_track_partitions(self):
+        fab = make_fabric(8)
+        fab.split(4, 8)
+        assert fab.barrier_rows() == [4]
+
+    def test_release_merges_neighbours(self):
+        fab = make_fabric(8)
+        part = fab.split(2, 6)
+        fab.release(part)
+        assert len(fab.partitions) == 1
+        assert fab.partitions[0].kind is PartitionKind.COMMUNICATION
+
+    def test_release_unknown_partition_rejected(self):
+        fab = make_fabric(8)
+        other = FlumenFabric(8).split(0, 4)
+        with pytest.raises(FabricError):
+            fab.release(other)
+
+    def test_partition_of_out_of_range(self):
+        with pytest.raises(FabricError):
+            make_fabric().partition_of(99)
+
+
+class TestComputeProgramming:
+    def test_svd_computes_inside_partition(self):
+        fab = make_fabric(8)
+        part = fab.split(4, 8)
+        m = np.random.default_rng(0).standard_normal((4, 4))
+        prog = fab.program_compute(part, m)
+        a = np.random.default_rng(1).standard_normal(4)
+        assert np.allclose(prog.apply(a.astype(complex)).real, m @ a,
+                           atol=1e-9)
+
+    def test_program_compute_wrong_shape_rejected(self):
+        fab = make_fabric(8)
+        part = fab.split(4, 8)
+        with pytest.raises(FabricError):
+            fab.program_compute(part, np.eye(3))
+
+    def test_program_compute_on_comm_partition_rejected(self):
+        fab = make_fabric(8)
+        fab.split(4, 8)
+        with pytest.raises(FabricError):
+            fab.program_compute(fab.partitions[0], np.eye(4))
+
+    def test_split_with_matrix_programs_immediately(self):
+        fab = make_fabric(8)
+        part = fab.split(0, 4, matrix=np.eye(4))
+        assert part.svd is not None
+
+    def test_compute_programming_charges_6ns(self):
+        fab = make_fabric(8)
+        fab.split(0, 4, matrix=np.eye(4))
+        assert fab.reconfiguration_time_s == pytest.approx(6e-9)
+        assert fab.compute_configs == 1
+
+
+class TestCommunicationProgramming:
+    def test_pairs_route_power(self):
+        fab = make_fabric(8)
+        fab.configure_communication({0: 5, 5: 0, 2: 7, 7: 2})
+        for src, dst in [(0, 5), (5, 0), (2, 7), (7, 2)]:
+            assert fab.path_mzi_count(src, dst) >= 1
+
+    def test_comm_programming_charges_1ns_per_partition(self):
+        fab = make_fabric(8)
+        fab.configure_communication({0: 1, 1: 0})
+        assert fab.reconfiguration_time_s == pytest.approx(1e-9)
+        assert fab.comm_configs == 1
+
+    def test_pairs_crossing_compute_partition_rejected(self):
+        fab = make_fabric(8)
+        fab.split(4, 8)
+        with pytest.raises(RoutingError):
+            fab.configure_communication({0: 6})
+
+    def test_pairs_from_compute_partition_rejected(self):
+        fab = make_fabric(8)
+        fab.split(4, 8)
+        with pytest.raises(RoutingError):
+            fab.configure_communication({5: 6})
+
+    def test_comm_works_beside_compute_partition(self):
+        fab = make_fabric(8)
+        fab.split(4, 8, matrix=np.eye(4))
+        fab.configure_communication({0: 3, 3: 0})
+        assert fab.path_mzi_count(0, 3) >= 1
+
+    def test_multicast_within_partition(self):
+        fab = make_fabric(8)
+        fab.configure_multicast(0, [1, 2, 3])
+        part = fab.partition_of(0)
+        assert part.comm_mesh is not None
+
+    def test_multicast_crossing_barrier_rejected(self):
+        fab = make_fabric(8)
+        fab.split(4, 8)
+        with pytest.raises(RoutingError):
+            fab.configure_multicast(0, [1, 6])
+
+    def test_gather_configures_result_return(self):
+        fab = make_fabric(8)
+        part = fab.split(4, 8, matrix=np.eye(4))
+        fab.configure_gather(part, 5)
+        assert part.comm_mesh is not None
+
+    def test_gather_destination_outside_partition_rejected(self):
+        fab = make_fabric(8)
+        part = fab.split(4, 8)
+        with pytest.raises(FabricError):
+            fab.configure_gather(part, 1)
+
+
+class TestLossAccounting:
+    def test_path_loss_positive_and_bounded(self):
+        fab = make_fabric(8)
+        fab.configure_communication({0: 7, 7: 0})
+        loss = fab.path_loss_db(0, 7)
+        ceiling = (fab.mesh_columns * fab.devices.mzi.insertion_loss_db
+                   + fab.mesh_columns * COLUMN_PITCH_CM * 1.5 + 30.0)
+        assert 0.0 < loss < ceiling
+
+    def test_unconfigured_path_rejected(self):
+        fab = make_fabric(8)
+        with pytest.raises(FabricError):
+            fab.path_mzi_count(0, 5)
+
+    def test_equalization_levels_received_power(self):
+        # The attenuator column's whole purpose (Section 3.1.2).
+        fab = make_fabric(8)
+        fab.configure_communication({0: 1, 2: 7, 5: 3, 6: 4})
+        pairs = [(0, 1), (2, 7), (5, 3), (6, 4)]
+        losses = [fab.path_loss_db(s, d) for s, d in pairs]
+        assert max(losses) - min(losses) < 0.3  # within one MZI loss
+
+    def test_equalization_attenuates_short_paths_only(self):
+        fab = make_fabric(8)
+        fab.configure_communication({0: 1, 2: 7})
+        t = fab.attenuator_transmission
+        assert (t <= 1.0 + 1e-12).all()
+        assert (t > 0.0).all()
+
+    def test_worst_case_loss_grows_with_wavelengths(self):
+        fab = make_fabric(8)
+        assert fab.worst_case_loss_db(32) > fab.worst_case_loss_db(8)
+
+
+class TestEndToEndPropagation:
+    def test_propagate_comm_delivers_to_destination(self):
+        fab = make_fabric(8)
+        fab.configure_communication({0: 6, 6: 0})
+        fields = np.zeros(8, dtype=complex)
+        fields[0] = 1.0
+        out = np.abs(fab.propagate_comm(fields)) ** 2
+        assert out.argmax() == 6
+        assert out[6] < 1.0  # loss applied
+
+    def test_propagate_comm_skips_compute_partitions(self):
+        fab = make_fabric(8)
+        fab.split(4, 8, matrix=np.eye(4))
+        fab.configure_communication({0: 2, 2: 0})
+        fields = np.ones(8, dtype=complex)
+        out = fab.propagate_comm(fields)
+        assert np.allclose(out[4:], 0.0)
+
+    def test_propagate_comm_rejects_wrong_size(self):
+        fab = make_fabric(8)
+        with pytest.raises(ValueError):
+            fab.propagate_comm(np.ones(4, dtype=complex))

@@ -1,0 +1,72 @@
+"""Hypothesis property tests on Flumen fabric partition invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.fabric import FlumenFabric, PartitionKind
+
+
+def partitions_tile(fabric: FlumenFabric) -> bool:
+    """Partitions must tile [0, n) contiguously without overlap."""
+    cursor = 0
+    for part in fabric.partitions:
+        if part.lo != cursor or part.hi <= part.lo:
+            return False
+        cursor = part.hi
+    return cursor == fabric.n
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6), ops=st.integers(1, 12))
+def test_property_random_split_release_keeps_tiling(seed, ops):
+    rng = np.random.default_rng(seed)
+    fabric = FlumenFabric(8)
+    created = []
+    for _ in range(ops):
+        if created and rng.random() < 0.4:
+            fabric.release(created.pop(int(rng.integers(len(created)))))
+        else:
+            # Try a random even-sized range; invalid choices must raise
+            # without corrupting state.
+            lo = int(rng.integers(0, 7))
+            hi = lo + 2 * int(rng.integers(1, 4))
+            try:
+                created.append(fabric.split(lo, min(hi, 8)))
+            except Exception:
+                pass
+        assert partitions_tile(fabric)
+    # Releasing everything restores one communication partition.
+    for part in list(created):
+        fabric.release(part)
+    assert partitions_tile(fabric)
+    assert len(fabric.partitions) == 1
+    assert fabric.partitions[0].kind is PartitionKind.COMMUNICATION
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_property_comm_programming_conserves_power(seed):
+    rng = np.random.default_rng(seed)
+    fabric = FlumenFabric(8)
+    targets = list(rng.permutation(8))
+    pairs = {s: int(d) for s, d in enumerate(targets) if s != int(d)}
+    fabric.configure_communication(pairs)
+    fields = np.zeros(8, dtype=complex)
+    src = next(iter(pairs)) if pairs else 0
+    fields[src] = 1.0
+    out = np.abs(fabric.propagate_comm(fields)) ** 2
+    # Loss-only propagation: total power never grows.
+    assert out.sum() <= 1.0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_property_equalized_attenuation_never_amplifies(seed):
+    rng = np.random.default_rng(seed)
+    fabric = FlumenFabric(8)
+    targets = list(rng.permutation(8))
+    pairs = {s: int(d) for s, d in enumerate(targets) if s != int(d)}
+    fabric.configure_communication(pairs)
+    assert (fabric.attenuator_transmission <= 1.0 + 1e-12).all()
+    assert (fabric.attenuator_transmission > 0.0).all()

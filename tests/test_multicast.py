@@ -1,0 +1,137 @@
+"""Tests for physical multicast in the Flumen network (Section 3.2)."""
+
+import pytest
+
+from repro.noc.flumen_net import FlumenNetwork
+from repro.noc.packet import Packet
+
+
+def mcast(src, dsts, size=4):
+    return Packet(src=src, dst=dsts[0], size_flits=size, create_cycle=0,
+                  multicast_dsts=tuple(dsts))
+
+
+def run_until_quiescent(net, budget=500):
+    for _ in range(budget):
+        net.step()
+        if net.quiescent():
+            return True
+    return False
+
+
+class TestMulticastPacket:
+    def test_destinations_property(self):
+        p = mcast(0, [1, 2, 3])
+        assert p.destinations == (1, 2, 3)
+        u = Packet(src=0, dst=1, size_flits=1, create_cycle=0)
+        assert u.destinations == (1,)
+
+    def test_dst_must_lead_the_set(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dst=2, size_flits=1, create_cycle=0,
+                   multicast_dsts=(1, 2))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            mcast(0, [1, 1, 2])
+
+    def test_rejects_source_in_set(self):
+        with pytest.raises(ValueError):
+            mcast(0, [1, 0])
+
+
+class TestFlumenMulticast:
+    def test_single_multicast_delivers(self):
+        net = FlumenNetwork(16)
+        net.offer_packet(mcast(0, [3, 7, 11]))
+        assert run_until_quiescent(net)
+        assert net.latency.received == 1
+        # One physical transmission regardless of fanout.
+        assert net.link_traversals == 4
+
+    def test_multicast_occupies_all_destinations(self):
+        net = FlumenNetwork(16)
+        net.offer_packet(mcast(0, [3, 7], size=20))
+        net.offer_packet(Packet(src=1, dst=7, size_flits=2, create_cycle=0))
+        for _ in range(10):
+            net.step()
+        # The unicast to 7 waits behind the multicast circuit.
+        assert net.latency.received == 0 or net.latency.received == 1
+        assert not net.ports_clear({7})
+        assert run_until_quiescent(net)
+        assert net.latency.received == 2
+
+    def test_multicast_waits_for_busy_output(self):
+        net = FlumenNetwork(16)
+        net.offer_packet(Packet(src=5, dst=3, size_flits=30, create_cycle=0))
+        net.step()
+        net.offer_packet(mcast(0, [3, 7]))
+        for _ in range(10):
+            net.step()
+        assert len(net._circuits) == 1  # multicast not yet granted
+        assert run_until_quiescent(net)
+        assert net.latency.received == 2
+
+    def test_multicast_respects_blocked_ports(self):
+        net = FlumenNetwork(16)
+        net.block_ports({7})
+        net.offer_packet(mcast(0, [3, 7]))
+        for _ in range(50):
+            net.step()
+        assert net.latency.received == 0
+        net.unblock_ports({7})
+        assert run_until_quiescent(net)
+        assert net.latency.received == 1
+
+    def test_broadcast_to_all_others(self):
+        net = FlumenNetwork(8)
+        net.offer_packet(mcast(0, list(range(1, 8))))
+        assert run_until_quiescent(net)
+        assert net.latency.received == 1
+        assert net.ports_clear(set(range(8)))
+
+    def test_physical_multicast_beats_replication(self):
+        # One photonic multicast vs k serial unicasts from the same source.
+        fanout, size = 6, 8
+        phys = FlumenNetwork(16)
+        phys.offer_packet(mcast(0, list(range(1, fanout + 1)), size))
+        run_until_quiescent(phys)
+
+        repl = FlumenNetwork(16)
+        for d in range(1, fanout + 1):
+            repl.offer_packet(Packet(src=0, dst=d, size_flits=size,
+                                     create_cycle=0))
+        run_until_quiescent(repl)
+
+        assert phys.latency.maximum < repl.latency.maximum
+        assert phys.link_traversals * (fanout - 1) < repl.link_traversals * 2
+
+
+class TestSequentialArbitrationAblation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FlumenNetwork(8, arbitration="magic")
+
+    def test_wavefront_outperforms_sequential(self):
+        # A full permutation: wavefront grants all 8 circuits in one
+        # cycle; sequential dribbles them out one per cycle.
+        def completion(arbitration):
+            net = FlumenNetwork(8, arbitration=arbitration)
+            for src in range(8):
+                net.offer_packet(Packet(src=src, dst=(src + 1) % 8,
+                                        size_flits=4, create_cycle=0))
+            for cycle in range(200):
+                net.step()
+                if net.quiescent():
+                    return cycle
+            return 200
+
+        assert completion("wavefront") < completion("sequential")
+
+    def test_sequential_still_delivers_everything(self):
+        net = FlumenNetwork(8, arbitration="sequential")
+        for src in range(8):
+            net.offer_packet(Packet(src=src, dst=(src + 3) % 8,
+                                    size_flits=2, create_cycle=0))
+        assert run_until_quiescent(net)
+        assert net.latency.received == 8

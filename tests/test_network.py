@@ -1,0 +1,120 @@
+"""Integration tests for the wormhole network engine (ring/mesh)."""
+
+import pytest
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.noc.topology import make_topology
+from repro.noc.traffic import TrafficGenerator
+
+
+def drained_network(topo_name, load, cycles=1500, seed=3, packet_size=4):
+    net = Network(make_topology(topo_name, 16))
+    tg = TrafficGenerator(16, "uniform", load,
+                         packet_size=packet_size, seed=seed)
+    net.run(tg, cycles=cycles, drain=True)
+    return net
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("topo", ["ring", "mesh"])
+    def test_every_packet_delivered(self, topo):
+        net = drained_network(topo, load=0.15)
+        assert net.latency.received == net.injected_packets
+        assert net.quiescent()
+
+    @pytest.mark.parametrize("topo", ["ring", "mesh"])
+    def test_no_flits_left_behind(self, topo):
+        net = drained_network(topo, load=0.2)
+        assert net.total_queued_flits() == 0
+
+    def test_single_packet_end_to_end(self):
+        net = Network(make_topology("mesh", 16))
+        net.offer_packet(Packet(src=0, dst=15, size_flits=4, create_cycle=0))
+        for _ in range(200):
+            net.step()
+            if net.quiescent():
+                break
+        assert net.latency.received == 1
+        # 6 hops, 4 flits: latency must exceed the pure distance.
+        assert net.latency.latencies[0] >= 6 + 4
+
+    def test_adjacent_packet_is_fast(self):
+        net = Network(make_topology("ring", 16))
+        net.offer_packet(Packet(src=0, dst=1, size_flits=1, create_cycle=0))
+        for _ in range(100):
+            net.step()
+            if net.quiescent():
+                break
+        assert net.latency.latencies[0] < 15
+
+
+class TestFlowControl:
+    def test_buffers_never_overflow(self):
+        # accept_flit raises on overflow, so completing a loaded run is the
+        # assertion that credits were honoured everywhere.
+        net = drained_network("mesh", load=0.5, cycles=1000)
+        assert net.latency.received == net.injected_packets
+
+    def test_heavy_load_backs_up_into_source_queues(self):
+        net = Network(make_topology("ring", 16))
+        tg = TrafficGenerator(16, "uniform", 0.9, packet_size=4, seed=1)
+        net.run(tg, cycles=1500)
+        assert net.total_queued_flits() > 100
+
+    def test_wormhole_keeps_packets_contiguous_per_vc(self):
+        # Two long packets from different sources to the same destination
+        # must both arrive complete (tail recorded once per packet).
+        net = Network(make_topology("mesh", 16))
+        net.offer_packet(Packet(src=0, dst=5, size_flits=8, create_cycle=0))
+        net.offer_packet(Packet(src=10, dst=5, size_flits=8, create_cycle=0))
+        for _ in range(300):
+            net.step()
+            if net.quiescent():
+                break
+        assert net.latency.received == 2
+        assert net.ejected_flits == 16
+
+
+class TestLatencyBehaviour:
+    def test_latency_grows_with_load(self):
+        lows = drained_network("ring", 0.05).latency.average
+        highs = drained_network("ring", 0.35).latency.average
+        assert highs > lows
+
+    def test_mesh_beats_ring_under_uniform(self):
+        # Fewer average hops -> lower latency (Figure 11 ordering).
+        ring = drained_network("ring", 0.2).latency.average
+        mesh = drained_network("mesh", 0.2).latency.average
+        assert mesh < ring
+
+    def test_utilization_tracked(self):
+        net = drained_network("mesh", 0.3)
+        assert 0.0 < net.utilization.average < 1.0
+
+    def test_counters_consistent(self):
+        net = drained_network("mesh", 0.2)
+        # Each flit traverses >= 1 link; hops include ejection traversals.
+        assert net.flit_hops >= net.link_traversals
+        assert net.link_traversals > 0
+
+
+class TestRingDeadlockFreedom:
+    def test_wrapping_traffic_completes(self):
+        # All nodes send across the dateline simultaneously.
+        net = Network(make_topology("ring", 16))
+        for src in range(16):
+            dst = (src + 5) % 16
+            net.offer_packet(Packet(src=src, dst=dst, size_flits=6,
+                                    create_cycle=0))
+        for _ in range(2000):
+            net.step()
+            if net.quiescent():
+                break
+        assert net.latency.received == 16
+
+    def test_tornado_pattern_completes(self):
+        net = Network(make_topology("ring", 16))
+        tg = TrafficGenerator(16, "tornado", 0.3, packet_size=4, seed=2)
+        net.run(tg, cycles=800, drain=True)
+        assert net.latency.received == net.injected_packets

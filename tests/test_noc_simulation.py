@@ -1,0 +1,112 @@
+"""Tests for the sweep harness and the network energy model."""
+
+import pytest
+
+from repro.noc.energy import NetworkEnergyModel
+from repro.noc.simulation import (
+    SweepConfig,
+    load_sweep,
+    make_network,
+    run_point,
+    saturation_load,
+    zero_load_latency,
+)
+
+FAST = SweepConfig(cycles=800, warmup=200)
+
+
+class TestFactory:
+    def test_all_topologies_constructible(self):
+        for name in ("ring", "mesh", "optbus", "flumen"):
+            net = make_network(name, 16)
+            assert hasattr(net, "run")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_network("hypercube", 16)
+
+
+class TestRunPoint:
+    def test_returns_populated_result(self):
+        r = run_point("mesh", "uniform", 0.1, FAST)
+        assert r.topology == "mesh"
+        assert r.pattern == "uniform"
+        assert r.avg_latency > 0
+        assert r.injected_packets > 0
+
+    def test_flumen_lowest_zero_load_latency(self):
+        # Figure 11: Flumen has the lowest latency at low load.
+        latencies = {t: zero_load_latency(t, FAST)
+                     for t in ("ring", "mesh", "optbus", "flumen")}
+        assert latencies["flumen"] == min(latencies.values())
+
+    def test_ring_worst_zero_load_latency(self):
+        latencies = {t: zero_load_latency(t, FAST)
+                     for t in ("ring", "mesh", "flumen")}
+        assert latencies["ring"] == max(latencies.values())
+
+
+class TestLoadSweep:
+    def test_latency_monotone_until_saturation(self):
+        results = load_sweep("ring", "uniform", [0.05, 0.15, 0.3, 0.5], FAST)
+        lat = [r.avg_latency for r in results]
+        assert lat == sorted(lat)
+
+    def test_sweep_stops_after_saturation(self):
+        results = load_sweep("ring", "uniform",
+                             [0.1, 0.5, 0.9, 0.95], FAST)
+        assert len(results) < 4 or results[-1].saturated
+
+    def test_flumen_flat_on_permutation_traffic(self):
+        results = load_sweep("flumen", "shuffle",
+                             [0.1, 0.4, 0.7], FAST)
+        lat = [r.avg_latency for r in results]
+        assert len(lat) == 3
+        assert lat[-1] < lat[0] * 2
+
+    def test_saturation_load_ordering(self):
+        # The mesh outlasts the ring under uniform traffic.
+        ring = saturation_load("ring", "uniform", config=FAST)
+        mesh = saturation_load("mesh", "uniform", config=FAST)
+        assert mesh > ring
+
+
+class TestNetworkEnergy:
+    def setup_method(self):
+        self.model = NetworkEnergyModel()
+
+    def test_dispatch_by_topology(self):
+        for topo in ("ring", "mesh", "optbus", "flumen"):
+            r = run_point(topo, "uniform", 0.2, FAST)
+            e = self.model.of(r)
+            assert e.total > 0
+
+    def test_unknown_topology_rejected(self):
+        r = run_point("mesh", "uniform", 0.1, FAST)
+        object.__setattr__(r, "topology", "weird")
+        with pytest.raises(ValueError):
+            self.model.of(r)
+
+    def test_mesh_cheaper_than_ring(self):
+        # Section 5.2: Mesh reduces network energy versus Ring.
+        ring = self.model.of(run_point("ring", "uniform", 0.25, FAST)).total
+        mesh = self.model.of(run_point("mesh", "uniform", 0.25, FAST)).total
+        assert mesh < ring
+
+    def test_photonic_cheaper_than_electrical(self):
+        mesh = self.model.of(run_point("mesh", "uniform", 0.25, FAST)).total
+        flum = self.model.of(run_point("flumen", "uniform", 0.25, FAST)).total
+        assert flum < mesh
+
+    def test_flumen_carries_converter_overhead_over_optbus(self):
+        # Section 5.2: Flumen > OptBus because of compute DAC/ADC statics.
+        r = run_point("flumen", "uniform", 0.25, FAST)
+        with_conv = self.model.flumen(r, include_converters=True)
+        without = self.model.flumen(r, include_converters=False)
+        assert with_conv.total > without.total
+        assert without.converter_static == 0.0
+
+    def test_electrical_energy_proportional_to_traffic(self):
+        low = self.model.of(run_point("mesh", "uniform", 0.1, FAST))
+        high = self.model.of(run_point("mesh", "uniform", 0.4, FAST))
+        assert high.dynamic > low.dynamic * 2

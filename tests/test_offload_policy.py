@@ -1,0 +1,63 @@
+"""Tests for the node-side offload decision policy (Section 3.4)."""
+
+import pytest
+
+from repro.core.offload import Decision, OffloadPolicy
+
+
+@pytest.fixture
+def policy():
+    return OffloadPolicy()
+
+
+class TestUtilizationGate:
+    def test_hot_network_forces_local(self, policy):
+        assert policy.decide(1000, 4096, 64, 0.95) is Decision.LOCAL
+
+    def test_ceiling_is_inclusive(self, policy):
+        assert policy.decide(1000, 4096, 64, 0.8) is Decision.LOCAL
+
+    def test_invalid_utilization_rejected(self, policy):
+        with pytest.raises(ValueError):
+            policy.decide(8, 8, 1, 1.5)
+
+
+class TestLatencyComparison:
+    def test_large_batched_job_offloads(self, policy):
+        # Thousands of reused-matrix MVMs: the photonic path wins big.
+        assert policy.decide(8, 8, 4096, 0.1) is Decision.OFFLOAD
+
+    def test_tiny_job_stays_local(self, policy):
+        # One 4x4 MVM cannot amortize grant wait + 6 ns programming.
+        assert policy.decide(4, 4, 1, 0.0) is Decision.LOCAL
+
+    def test_grant_wait_shifts_the_decision(self):
+        eager = OffloadPolicy(expected_grant_wait_cycles=0.0)
+        patient = OffloadPolicy(expected_grant_wait_cycles=50_000.0)
+        job = (8, 8, 256)
+        assert eager.decide(*job, 0.0) is Decision.OFFLOAD
+        assert patient.decide(*job, 0.0) is Decision.LOCAL
+
+    def test_local_core_count_matters(self):
+        weak = OffloadPolicy(local_cores=1)
+        strong = OffloadPolicy(local_cores=64)
+        job = (8, 8, 128)
+        # More local horsepower raises the offload bar.
+        if strong.decide(*job, 0.0) is Decision.OFFLOAD:
+            assert weak.decide(*job, 0.0) is Decision.OFFLOAD
+
+
+class TestBreakEven:
+    def test_break_even_exists_for_reused_kernels(self, policy):
+        be = policy.break_even_vectors(8, 8)
+        assert be is not None
+        assert policy.decide(8, 8, be, 0.0) is Decision.OFFLOAD
+        if be > 1:
+            assert policy.decide(8, 8, be - 1, 0.0) is Decision.LOCAL
+
+    def test_break_even_monotone_in_kernel_size(self, policy):
+        # Bigger kernels offload more MACs per window: earlier break-even.
+        small = policy.break_even_vectors(8, 8)
+        large = policy.break_even_vectors(8, 64)
+        assert small is not None and large is not None
+        assert large <= small

@@ -1,0 +1,88 @@
+"""Tests for DAC phase-quantization modeling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.clements import decompose, random_unitary
+from repro.photonics.noise import (
+    matrix_fidelity_vs_bits,
+    quantize_mesh_phases,
+    quantize_phase,
+    quantize_svd_phases,
+)
+from repro.photonics.svd import program_svd
+
+
+class TestQuantizePhase:
+    def test_endpoints_exact(self):
+        assert quantize_phase(0.0, 8, math.pi) == 0.0
+        assert quantize_phase(math.pi, 8, math.pi) == pytest.approx(math.pi)
+
+    def test_error_bounded_by_half_step(self):
+        step = math.pi / (2 ** 6 - 1)
+        for v in np.linspace(0, math.pi, 50):
+            q = quantize_phase(v, 6, math.pi)
+            assert abs(q - v) <= step / 2 + 1e-12
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            quantize_phase(1.0, 0, math.pi)
+
+
+class TestMeshQuantization:
+    def test_quantized_mesh_still_unitary(self):
+        mesh = decompose(random_unitary(6, np.random.default_rng(0)))
+        q = quantize_mesh_phases(mesh, 6)
+        m = q.matrix()
+        assert np.allclose(m.conj().T @ m, np.eye(6), atol=1e-9)
+
+    def test_high_resolution_is_nearly_exact(self):
+        u = random_unitary(5, np.random.default_rng(1))
+        mesh = decompose(u)
+        q = quantize_mesh_phases(mesh, 14)
+        assert np.max(np.abs(q.matrix() - u)) < 1e-2
+
+    def test_structure_preserved(self):
+        mesh = decompose(random_unitary(6, np.random.default_rng(2)))
+        q = quantize_mesh_phases(mesh, 8)
+        assert q.num_mzis == mesh.num_mzis
+        assert [m.top_mode for m in q.mzis] == \
+            [m.top_mode for m in mesh.mzis]
+
+
+class TestSVDQuantization:
+    def test_sigma_stays_in_range(self):
+        prog = program_svd(np.random.default_rng(3).standard_normal((6, 6)))
+        q = quantize_svd_phases(prog, 6)
+        assert (q.sigma >= 0.0).all()
+        assert (q.sigma <= 1.0).all()
+
+    def test_scale_preserved(self):
+        prog = program_svd(np.random.default_rng(4).standard_normal((4, 4)))
+        assert quantize_svd_phases(prog, 8).scale == prog.scale
+
+
+class TestFidelity:
+    def test_error_decreases_with_bits(self):
+        m = np.random.default_rng(5).standard_normal((8, 8))
+        fid = matrix_fidelity_vs_bits(m, [4, 8, 12])
+        assert fid[4] > fid[8] > fid[12]
+
+    def test_8_bits_gives_sub_percent_error(self):
+        # Consistent with Table 1's "8-bit equivalent precision".
+        m = np.random.default_rng(6).standard_normal((8, 8))
+        assert matrix_fidelity_vs_bits(m, [8])[8] < 0.02
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_property_quantized_product_tracks_exact(self, seed):
+        m = np.random.default_rng(seed).standard_normal((4, 4))
+        prog = quantize_svd_phases(program_svd(m), 10)
+        a = np.random.default_rng(seed + 1).standard_normal(4)
+        approx = prog.scale * prog.propagate(a.astype(complex)).real
+        scale = np.max(np.abs(m @ a)) or 1.0
+        assert np.max(np.abs(approx - m @ a)) / scale < 0.05

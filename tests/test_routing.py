@@ -1,0 +1,166 @@
+"""Tests for communication mapping (Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.routing import (
+    RoutingError,
+    complete_partial_permutation,
+    is_crossbar_program,
+    multicast_unitary,
+    permutation_matrix,
+    program_broadcast,
+    program_gather,
+    program_multicast,
+    program_point_to_point,
+    received_power,
+)
+
+
+class TestPermutationMatrix:
+    def test_identity(self):
+        assert np.allclose(permutation_matrix(range(4)), np.eye(4))
+
+    def test_swap(self):
+        p = permutation_matrix([1, 0])
+        assert p[1, 0] == 1.0 and p[0, 1] == 1.0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(RoutingError):
+            permutation_matrix([0, 0, 1])
+
+    def test_column_encodes_source(self):
+        p = permutation_matrix([2, 0, 1])
+        # input 0 -> output 2
+        assert p[2, 0] == 1.0
+
+
+class TestCompletePartialPermutation:
+    def test_empty_becomes_identity(self):
+        assert complete_partial_permutation({}, 4) == [0, 1, 2, 3]
+
+    def test_requested_pairs_kept(self):
+        t = complete_partial_permutation({0: 3, 2: 1}, 4)
+        assert t[0] == 3 and t[2] == 1
+
+    def test_result_is_permutation(self):
+        t = complete_partial_permutation({1: 5, 4: 0, 7: 3}, 8)
+        assert sorted(t) == list(range(8))
+
+    def test_idle_endpoints_prefer_loopback(self):
+        t = complete_partial_permutation({0: 1, 1: 0}, 6)
+        assert t[2:] == [2, 3, 4, 5]
+
+    def test_conflicting_destination_rejected(self):
+        with pytest.raises(RoutingError):
+            complete_partial_permutation({0: 1, 2: 1}, 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(RoutingError):
+            complete_partial_permutation({0: 9}, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=12),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_property_always_a_permutation(self, n, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(0, n + 1))
+        srcs = list(rng.permutation(n)[:k])
+        dsts = list(rng.permutation(n)[:k])
+        pairs = dict(zip(srcs, dsts))
+        t = complete_partial_permutation(pairs, n)
+        assert sorted(t) == list(range(n))
+        for s, d in pairs.items():
+            assert t[s] == d
+
+
+class TestPointToPoint:
+    def test_program_is_pure_crossbar(self):
+        mesh = program_point_to_point({0: 7, 7: 0, 3: 4, 4: 3}, 8)
+        assert is_crossbar_program(mesh)
+
+    def test_power_delivered_to_requested_destination(self):
+        mesh = program_point_to_point({2: 5}, 8)
+        p = received_power(mesh, 2)
+        assert p[5] == pytest.approx(1.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_non_blocking_all_pairs_simultaneously(self):
+        # Crossbar behaviour: a full permutation is conflict-free.
+        targets = [3, 0, 1, 2, 7, 6, 5, 4]
+        mesh = program_point_to_point(dict(enumerate(targets)), 8)
+        for src, dst in enumerate(targets):
+            p = received_power(mesh, src)
+            assert p[dst] == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_property_random_permutations_route_exactly(self, seed):
+        n = 8
+        targets = list(np.random.default_rng(seed).permutation(n))
+        mesh = program_point_to_point(dict(enumerate(targets)), n)
+        assert is_crossbar_program(mesh)
+        for src, dst in enumerate(targets):
+            assert received_power(mesh, src)[dst] == pytest.approx(1.0)
+
+
+class TestMulticast:
+    def test_broadcast_equal_power(self):
+        # Figure 6(b): E-field amplitudes 1/sqrt(N) -> power 1/N each.
+        mesh = program_broadcast(0, 4)
+        p = received_power(mesh, 0)
+        assert np.allclose(p, 0.25)
+
+    def test_multicast_subset(self):
+        mesh = program_multicast(1, [0, 2, 5], 8)
+        p = received_power(mesh, 1)
+        for d in (0, 2, 5):
+            assert p[d] == pytest.approx(1 / 3)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_non_participants_leak_no_power_to_destinations(self):
+        mesh = program_multicast(0, [1, 2], 6)
+        for other in range(3, 6):
+            p = received_power(mesh, other)
+            assert p[1] == pytest.approx(0.0, abs=1e-12)
+            assert p[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_unitary_completion_is_unitary(self):
+        u = multicast_unitary(3, [0, 1, 6, 7], 8)
+        assert np.allclose(u.conj().T @ u, np.eye(8), atol=1e-10)
+
+    def test_rejects_empty_destinations(self):
+        with pytest.raises(RoutingError):
+            program_multicast(0, [], 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(RoutingError):
+            multicast_unitary(0, [4], 4)
+        with pytest.raises(RoutingError):
+            multicast_unitary(9, [0], 4)
+
+    def test_single_destination_degenerates_to_point_to_point(self):
+        mesh = program_multicast(0, [3], 4)
+        assert received_power(mesh, 0)[3] == pytest.approx(1.0)
+
+    def test_paper_figure_6b_amplitudes(self):
+        # Input [1 0 0 0]^T -> output powers [0.25 0.25 0.25 0.25].
+        u = multicast_unitary(0, range(4), 4)
+        out = u @ np.array([1.0, 0, 0, 0])
+        assert np.allclose(np.abs(out) ** 2, 0.25)
+
+
+class TestGather:
+    def test_gather_combines_coherently(self):
+        n = 4
+        mesh = program_gather(2, range(n), n)
+        fields = np.full(n, 1.0 / np.sqrt(n), dtype=complex)
+        out = np.abs(mesh.propagate(fields)) ** 2
+        assert out[2] == pytest.approx(1.0)
+
+    def test_gather_is_adjoint_of_multicast(self):
+        u = multicast_unitary(1, range(4), 4)
+        mesh = program_gather(1, range(4), 4)
+        assert np.allclose(mesh.matrix(), u.conj().T, atol=1e-10)

@@ -1,0 +1,130 @@
+"""Tests for the SVD MZIM programming (Section 3.1.1 / 3.3.1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.photonics.svd import (
+    SVDProgram,
+    mvm_digital_op_count,
+    program_svd,
+    spectral_scale,
+)
+
+
+def rng_matrix(n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+class TestSpectralScale:
+    def test_identity_scale_is_one(self):
+        assert spectral_scale(np.eye(4)) == pytest.approx(1.0)
+
+    def test_scaled_identity(self):
+        assert spectral_scale(3.0 * np.eye(4)) == pytest.approx(3.0)
+
+    def test_zero_matrix_safe(self):
+        assert spectral_scale(np.zeros((3, 3))) == 1.0
+
+    def test_equals_largest_singular_value(self):
+        m = rng_matrix(6, 0)
+        assert spectral_scale(m) == pytest.approx(np.linalg.svd(m)[1][0])
+
+
+class TestProgramSVD:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8, 16])
+    def test_reconstruction(self, n):
+        m = rng_matrix(n, n)
+        prog = program_svd(m)
+        assert np.allclose(prog.scale * prog.matrix(), m, atol=1e-10)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            program_svd(np.ones((3, 4)))
+
+    def test_singular_values_bounded(self):
+        # Section 3.3.1: 0 <= sigma_i <= 1 after spectral-norm scaling.
+        prog = program_svd(rng_matrix(8, 1))
+        assert (prog.sigma >= 0.0).all()
+        assert (prog.sigma <= 1.0).all()
+        assert prog.sigma.max() == pytest.approx(1.0)
+
+    def test_mzi_count_is_n_squared(self):
+        # Section 3.1.1: N-input SVD MZIM uses N^2 MZIs.
+        for n in (2, 4, 8):
+            assert program_svd(rng_matrix(n, n + 50)).num_mzis == n * n
+
+    def test_apply_computes_matrix_vector_product(self):
+        m = rng_matrix(8, 2)
+        prog = program_svd(m)
+        a = np.random.default_rng(3).standard_normal(8)
+        assert np.allclose(prog.apply(a.astype(complex)).real, m @ a,
+                           atol=1e-10)
+
+    def test_apply_wdm_parallel_mvms(self):
+        # Section 3.3.1: p wavelengths compute p MVMs in one pass.
+        m = rng_matrix(4, 4)
+        prog = program_svd(m)
+        a = np.random.default_rng(5).standard_normal((4, 7))
+        assert np.allclose(prog.apply(a.astype(complex)).real, m @ a,
+                           atol=1e-10)
+
+    def test_complex_matrix_supported(self):
+        rng = np.random.default_rng(6)
+        m = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        prog = program_svd(m)
+        assert np.allclose(prog.scale * prog.matrix(), m, atol=1e-10)
+
+    def test_attenuator_thetas_encode_sigma(self):
+        prog = program_svd(rng_matrix(4, 7))
+        thetas = prog.attenuator_thetas
+        recovered = np.sin(thetas / 2.0)
+        assert np.allclose(recovered, prog.sigma, atol=1e-12)
+
+    def test_diagonal_matrix(self):
+        m = np.diag([0.5, 2.0, 1.0, 0.25])
+        prog = program_svd(m)
+        assert prog.scale == pytest.approx(2.0)
+        a = np.ones(4, dtype=complex)
+        assert np.allclose(prog.apply(a).real, np.diag(m), atol=1e-10)
+
+    def test_rank_deficient_matrix(self):
+        m = np.outer([1.0, 2.0, 3.0, 4.0], [1.0, 0.0, -1.0, 0.5])
+        prog = program_svd(m)
+        a = np.random.default_rng(8).standard_normal(4)
+        assert np.allclose(prog.apply(a.astype(complex)).real, m @ a,
+                           atol=1e-9)
+
+
+class TestEnergyConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           n=st.integers(min_value=2, max_value=8))
+    def test_property_output_power_never_exceeds_input(self, seed, n):
+        # Section 3.3.1: b = M_s a with sigma <= 1 implies |b| <= |a|.
+        prog = program_svd(rng_matrix(n, seed))
+        a = np.random.default_rng(seed + 1).standard_normal(n).astype(complex)
+        b = prog.propagate(a)
+        assert np.linalg.norm(b) <= np.linalg.norm(a) + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           n=st.integers(min_value=2, max_value=8))
+    def test_property_scaled_product_matches_numpy(self, seed, n):
+        m = rng_matrix(n, seed)
+        prog = program_svd(m)
+        a = np.random.default_rng(seed + 2).standard_normal(n)
+        assert np.allclose(prog.apply(a.astype(complex)).real, m @ a,
+                           atol=1e-8)
+
+
+class TestOpCounts:
+    def test_mvm_digital_ops(self):
+        # Section 3.3.1: N^2 multiplies and N(N-1) additions per MVM.
+        mults, adds = mvm_digital_op_count(8)
+        assert mults == 64
+        assert adds == 56

@@ -1,0 +1,109 @@
+"""Tests for ring and mesh topology structure and routing."""
+
+import pytest
+
+from repro.noc.topology import (
+    LOCAL_PORT,
+    MeshTopology,
+    RingTopology,
+    make_topology,
+)
+
+
+class TestRing:
+    def setup_method(self):
+        self.ring = RingTopology(16)
+
+    def test_links_are_bidirectional_pairs(self):
+        assert self.ring.link(0, RingTopology.CW) == (1, RingTopology.CCW)
+        assert self.ring.link(0, RingTopology.CCW) == (15, RingTopology.CW)
+
+    def test_local_port_has_no_link(self):
+        assert self.ring.link(5, LOCAL_PORT) is None
+
+    def test_route_prefers_short_direction(self):
+        assert self.ring.route(0, 3) == RingTopology.CW
+        assert self.ring.route(0, 13) == RingTopology.CCW
+
+    def test_route_to_self_is_local(self):
+        assert self.ring.route(7, 7) == LOCAL_PORT
+
+    def test_hop_count_symmetric_distance(self):
+        assert self.ring.hop_count(0, 4) == 4
+        assert self.ring.hop_count(0, 12) == 4
+        assert self.ring.hop_count(0, 8) == 8
+
+    def test_average_hops(self):
+        # Bidirectional 16-ring: mean shortest distance = 64/15.
+        assert self.ring.average_hops() == pytest.approx(64 / 15, rel=1e-6)
+
+    def test_num_links(self):
+        assert self.ring.num_links() == 32  # 16 nodes x 2 directions
+
+    def test_vc_class_marks_wrapping_paths(self):
+        # CW from 14 to 1 wraps through 0 -> class 1.
+        assert self.ring.vc_class(14, 1) == 1
+        # CW from 1 to 4 does not wrap -> class 0.
+        assert self.ring.vc_class(1, 4) == 0
+        # CCW from 1 to 14 wraps below 0 -> class 1.
+        assert self.ring.vc_class(1, 14) == 1
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            self.ring.link(0, 9)
+
+
+class TestMesh:
+    def setup_method(self):
+        self.mesh = MeshTopology(16)
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            MeshTopology(12)
+
+    def test_coordinates_roundtrip(self):
+        for r in range(16):
+            x, y = self.mesh.coords(r)
+            assert self.mesh.router_at(x, y) == r
+
+    def test_edge_ports_unconnected(self):
+        assert self.mesh.link(0, MeshTopology.WEST) is None
+        assert self.mesh.link(0, MeshTopology.NORTH) is None
+        assert self.mesh.link(15, MeshTopology.EAST) is None
+
+    def test_interior_links(self):
+        # Router 5 = (1, 1).
+        assert self.mesh.link(5, MeshTopology.EAST) == (6, MeshTopology.WEST)
+        assert self.mesh.link(5, MeshTopology.SOUTH) == (9, MeshTopology.NORTH)
+
+    def test_xy_routing_goes_x_first(self):
+        # From (0,0) to (2,2): east first.
+        assert self.mesh.route(0, 10) == MeshTopology.EAST
+        # Same column: vertical.
+        assert self.mesh.route(0, 8) == MeshTopology.SOUTH
+
+    def test_hop_count_is_manhattan(self):
+        assert self.mesh.hop_count(0, 15) == 6
+        assert self.mesh.hop_count(0, 5) == 2
+
+    def test_average_hops(self):
+        # 4x4 mesh mean Manhattan distance between distinct nodes = 8/3.
+        assert self.mesh.average_hops() == pytest.approx(8 / 3, rel=1e-6)
+
+    def test_num_links(self):
+        # 2 * 2 * side * (side-1) = 48 unidirectional links.
+        assert self.mesh.num_links() == 48
+
+    def test_bisection_links(self):
+        # Splitting rows 0-1 from 2-3 cuts 4 columns x 2 directions.
+        assert self.mesh.bisection_links() == 8
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_topology("ring", 16).name == "ring"
+        assert make_topology("mesh", 16).name == "mesh"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology("torus", 16)
