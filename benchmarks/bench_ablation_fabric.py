@@ -14,10 +14,10 @@
 
 import numpy as np
 
+from repro.analysis.engine import default_jobs
 from repro.analysis.report import format_table
-from repro.noc.flumen_net import FlumenNetwork
+from repro.analysis.sweep import sweep_task
 from repro.noc.simulation import SweepConfig
-from repro.noc.traffic import TrafficGenerator
 from repro.photonics.fabric import FlumenFabric
 from repro.photonics.noise import matrix_fidelity_vs_bits
 
@@ -58,27 +58,24 @@ def equalization_spread():
 
 def arbitration_throughput():
     """Accepted throughput under permutation traffic, both arbiters."""
-    out = {}
-    for mode in ("wavefront", "sequential"):
-        net = FlumenNetwork(16, arbitration=mode)
-        traffic = TrafficGenerator(16, "bit_reversal", 0.6,
-                                   packet_size=4, seed=9)
-        net.run(traffic, cycles=CONFIG.cycles, warmup=CONFIG.warmup)
-        measured = CONFIG.cycles - CONFIG.warmup
-        out[mode] = net.latency.throughput(16, measured)
-    return out
+    points = sweep_task(
+        "arbitration", ["wavefront", "sequential"], task="noc_latency",
+        base_params={"topology": "flumen", "pattern": "bit_reversal",
+                     "load": 0.6, "packet_size": 4, "traffic_seed": 9,
+                     "cycles": CONFIG.cycles, "warmup": CONFIG.warmup},
+        jobs=default_jobs())
+    return {p.value: p.metrics["throughput"] for p in points}
 
 
 def pipelined_setup_latency():
     """Average latency at high load with and without setup pipelining."""
-    out = {}
-    for pipelined in (True, False):
-        net = FlumenNetwork(16, pipelined_setup=pipelined)
-        traffic = TrafficGenerator(16, "shuffle", 0.7,
-                                   packet_size=4, seed=11)
-        net.run(traffic, cycles=CONFIG.cycles, warmup=CONFIG.warmup)
-        out[pipelined] = net.latency.average
-    return out
+    points = sweep_task(
+        "pipelined_setup", [True, False], task="noc_latency",
+        base_params={"topology": "flumen", "pattern": "shuffle",
+                     "load": 0.7, "packet_size": 4, "traffic_seed": 11,
+                     "cycles": CONFIG.cycles, "warmup": CONFIG.warmup},
+        jobs=default_jobs())
+    return {p.value: p.metrics["avg_latency"] for p in points}
 
 
 def test_equalization(benchmark):

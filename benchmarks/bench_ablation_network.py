@@ -2,38 +2,49 @@
 
 Standard Booksim-style sensitivity studies on the electrical baselines,
 plus the Flumen-specific reconfiguration-delay sweep (what if phase
-programming were slower/faster than the paper's 1 ns?).
+programming were slower/faster than the paper's 1 ns?).  All scans run
+through the sweep engine's registered ``noc_latency`` task, so the
+points execute on worker processes.
 """
 
+from repro.analysis.engine import PointSpec, SweepEngine, default_jobs
 from repro.analysis.report import format_table
-from repro.noc.flumen_net import FlumenNetwork
-from repro.noc.network import Network
-from repro.noc.topology import make_topology
-from repro.noc.traffic import TrafficGenerator
+from repro.analysis.sweep import sweep_task
 
 CYCLES, WARMUP, LOAD = 2000, 600, 0.45
+MESH_PARAMS = {"topology": "mesh", "pattern": "uniform", "load": LOAD,
+               "cycles": CYCLES, "warmup": WARMUP, "traffic_seed": 13}
 
 
-def mesh_latency(num_vcs: int, buffer_depth: int) -> float:
-    net = Network(make_topology("mesh", 16), num_vcs=num_vcs,
-                  buffer_depth=buffer_depth)
-    traffic = TrafficGenerator(16, "uniform", LOAD, seed=13)
-    net.run(traffic, cycles=CYCLES, warmup=WARMUP)
-    return net.latency.average
+def buffer_depth_sweep(depths):
+    points = sweep_task(
+        "buffer_depth", depths, task="noc_latency",
+        base_params={**MESH_PARAMS, "num_vcs": 2}, jobs=default_jobs())
+    return {int(p.value): p.metrics["avg_latency"] for p in points}
 
 
-def flumen_latency(reconfig_cycles: int) -> float:
-    net = FlumenNetwork(16, reconfig_cycles=reconfig_cycles)
-    traffic = TrafficGenerator(16, "uniform", 0.1, seed=13)
-    net.run(traffic, cycles=CYCLES, warmup=WARMUP)
-    return net.latency.average
+def vc_count_sweep(vcs):
+    points = sweep_task(
+        "num_vcs", vcs, task="noc_latency",
+        base_params={**MESH_PARAMS, "buffer_depth": 8},
+        jobs=default_jobs())
+    return {int(p.value): p.metrics["avg_latency"] for p in points}
+
+
+def reconfig_cost_sweep(costs):
+    points = sweep_task(
+        "reconfig_cycles", costs, task="noc_latency",
+        base_params={"topology": "flumen", "pattern": "uniform",
+                     "load": 0.1, "cycles": CYCLES, "warmup": WARMUP,
+                     "traffic_seed": 13},
+        jobs=default_jobs())
+    return {int(p.value): p.metrics["avg_latency"] for p in points}
 
 
 def test_buffer_depth_sensitivity(benchmark):
     depths = [2, 4, 8, 16]
-    lat = benchmark.pedantic(
-        lambda: {d: mesh_latency(2, d) for d in depths},
-        rounds=1, iterations=1)
+    lat = benchmark.pedantic(lambda: buffer_depth_sweep(depths),
+                             rounds=1, iterations=1)
     print()
     print(format_table(
         ["buffer depth (flits)", "mesh avg latency @0.45"],
@@ -47,9 +58,8 @@ def test_buffer_depth_sensitivity(benchmark):
 
 def test_vc_count_sensitivity(benchmark):
     vcs = [1, 2, 4]
-    lat = benchmark.pedantic(
-        lambda: {v: mesh_latency(v, 8) for v in vcs},
-        rounds=1, iterations=1)
+    lat = benchmark.pedantic(lambda: vc_count_sweep(vcs),
+                             rounds=1, iterations=1)
     print()
     print(format_table(
         ["virtual channels", "mesh avg latency @0.45"],
@@ -62,14 +72,18 @@ def test_vc_count_sensitivity(benchmark):
 
 
 def routing_comparison():
-    out = {}
-    for pattern in ("uniform", "transpose", "bit_reversal"):
-        for name in ("mesh", "mesh_wf"):
-            net = Network(make_topology(name, 16))
-            traffic = TrafficGenerator(16, pattern, 0.35, seed=3)
-            net.run(traffic, cycles=CYCLES, warmup=WARMUP)
-            out[(pattern, name)] = net.latency.average
-    return out
+    patterns = ("uniform", "transpose", "bit_reversal")
+    points = [
+        PointSpec(key=f"{pattern}/{name}",
+                  params={"topology": name, "pattern": pattern,
+                          "load": 0.35, "cycles": CYCLES,
+                          "warmup": WARMUP, "traffic_seed": 3})
+        for pattern in patterns for name in ("mesh", "mesh_wf")]
+    run = SweepEngine(jobs=default_jobs()).run("noc_latency", points)
+    run.raise_failures()
+    return {(p.params["pattern"], p.params["topology"]):
+            r.metrics["avg_latency"]
+            for p, r in zip(points, run.results)}
 
 
 def test_adaptive_routing(benchmark):
@@ -88,9 +102,8 @@ def test_adaptive_routing(benchmark):
 
 def test_reconfiguration_cost_sensitivity(benchmark):
     costs = [0, 3, 10, 25]
-    lat = benchmark.pedantic(
-        lambda: {c: flumen_latency(c) for c in costs},
-        rounds=1, iterations=1)
+    lat = benchmark.pedantic(lambda: reconfig_cost_sweep(costs),
+                             rounds=1, iterations=1)
     print()
     print(format_table(
         ["reconfig cycles", "flumen avg latency @0.1"],

@@ -68,7 +68,7 @@ def test_link_budget(benchmark):
     # brings its own modulator/TIA; the laser share grows only with the
     # extra ring loss).
     energies = {lam: photonic_link_energy(lam).total for lam in WAVELENGTHS}
-    print(f"\nenergy/bit: " + ", ".join(
+    print("\nenergy/bit: " + ", ".join(
         f"{lam} lam = {e * 1e12:.2f} pJ" for lam, e in energies.items()))
     assert max(energies.values()) < 1.1 * min(energies.values())
     assert all(e < 1.17e-12 for e in energies.values())  # beats electrical

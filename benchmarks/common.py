@@ -1,16 +1,25 @@
 """Shared infrastructure for the per-figure benchmark modules.
 
 The Figure 13/14/15 benches all consume the same 5 workloads x 5
-configurations sweep; it is computed once per pytest session and cached
-here so each bench measures its own slice without re-simulating.
+configurations sweep.  It now runs through the parallel sweep engine:
+points fan out across worker processes (``FLUMEN_JOBS`` overrides the
+count) and land in the on-disk result cache (``FLUMEN_CACHE_DIR``,
+default ``.flumen_cache/``), so a bench session after an unrelated edit
+replays the sweep from disk instead of re-simulating 25 system points.
 """
 
 from __future__ import annotations
 
 import functools
 
-from repro.core.system import CONFIGURATIONS, SystemModel, WorkloadRun
-from repro.workloads import paper_workloads
+from repro.analysis.engine import (
+    PointSpec,
+    ResultCache,
+    SweepEngine,
+    default_jobs,
+)
+from repro.analysis.tasks import run_from_record
+from repro.core.system import CONFIGURATIONS, WorkloadRun
 
 #: Paper-reported values used in the printed comparisons.
 PAPER_SPEEDUP_VS_MESH = {
@@ -30,11 +39,23 @@ PAPER_GEOMEAN = {"speedup": 3.6, "energy": 2.5, "edp": 9.3}
 
 @functools.lru_cache(maxsize=1)
 def full_sweep() -> dict[str, dict[str, WorkloadRun]]:
-    """All (workload, configuration) runs at paper shapes — cached."""
-    model = SystemModel()
+    """All (workload, configuration) runs at paper shapes — cached.
+
+    ``traffic_seed`` is pinned to the :class:`SystemModel` default so
+    the engine path reproduces the historical serial sweep exactly.
+    """
+    points = [
+        PointSpec(key=f"{name}/{cfg}",
+                  params={"workload": name, "configuration": cfg,
+                          "shapes": "paper", "traffic_seed": 17})
+        for name in workload_names() for cfg in CONFIGURATIONS]
+    engine = SweepEngine(jobs=default_jobs(), cache=ResultCache())
+    run = engine.run("system_point", points).raise_failures()
     results: dict[str, dict[str, WorkloadRun]] = {}
-    for workload in paper_workloads():
-        results[workload.name] = model.run_all(workload)
+    for point, result in zip(points, run.results):
+        name = point.params["workload"]
+        results.setdefault(name, {})[point.params["configuration"]] = \
+            run_from_record(result.metrics)
     return results
 
 

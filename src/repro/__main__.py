@@ -12,6 +12,9 @@ Commands
     Run one workload through all five configurations (Figures 13-15 row).
 ``area``
     Section 5.1 area report.
+``sweep``
+    Full workload x configuration sweep through the parallel execution
+    engine, with the on-disk result cache and a JSON artifact.
 """
 
 from __future__ import annotations
@@ -122,6 +125,74 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.engine import (
+        PointSpec,
+        ResultCache,
+        SweepEngine,
+    )
+    from repro.analysis.report import format_table
+    from repro.core.system import CONFIGURATIONS
+    from repro.workloads import paper_workloads
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    known_workloads = [wl.name for wl in paper_workloads()]
+    workloads = list(dict.fromkeys(args.workloads or known_workloads))
+    configs = list(dict.fromkeys(args.configs or CONFIGURATIONS))
+    for name in workloads:
+        if name not in known_workloads:
+            print(f"unknown workload {name!r}; "
+                  f"choose from {known_workloads}", file=sys.stderr)
+            return 2
+    for cfg in configs:
+        if cfg not in CONFIGURATIONS:
+            print(f"unknown configuration {cfg!r}; "
+                  f"choose from {list(CONFIGURATIONS)}", file=sys.stderr)
+            return 2
+
+    shapes = "small" if args.small else "paper"
+    points = [PointSpec(key=f"{wl}/{cfg}",
+                        params={"workload": wl, "configuration": cfg,
+                                "shapes": shapes})
+              for wl in workloads for cfg in configs]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(done: int, total: int, result) -> None:
+        origin = "cache" if result.from_cache else (
+            "ok" if result.ok else "FAILED")
+        print(f"  [{done}/{total}] {result.key}: {origin}",
+              file=sys.stderr)
+
+    engine = SweepEngine(jobs=args.jobs, cache=cache,
+                         progress=progress if args.progress else None)
+    run = engine.run("system_point", points, base_seed=args.seed)
+
+    rows = [[r.metrics["workload"], r.metrics["configuration"],
+             f"{r.metrics['runtime_s'] * 1e6:.1f}",
+             f"{r.metrics['energy_total_j'] * 1e6:.1f}",
+             f"{r.metrics['edp_js'] * 1e9:.3f}"]
+            for r in run.ok_results()]
+    print(format_table(
+        ["workload", "config", "runtime (us)", "energy (uJ)",
+         "EDP (nJ*s)"],
+        rows, title=f"System sweep ({shapes} shapes, jobs={args.jobs})"))
+    for failure in run.failed_results():
+        print(f"FAILED {failure.key}: {failure.error}", file=sys.stderr)
+    print(f"telemetry: {run.telemetry.summary()}")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(run.records(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(run.results)} records to {args.out}")
+    return 1 if run.failed_results() else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -144,6 +215,29 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("area", help="area report (Section 5.1)")
 
+    swp = sub.add_parser(
+        "sweep", help="parallel workload x configuration sweep "
+                      "(Figures 13-15 grid)")
+    swp.add_argument("--workloads", nargs="+", metavar="NAME",
+                     help="workload subset (default: all five)")
+    swp.add_argument("--configs", nargs="+", metavar="CFG",
+                     help="configuration subset (default: all five)")
+    swp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (default: 1)")
+    swp.add_argument("--no-cache", action="store_true",
+                     help="bypass the on-disk result cache")
+    swp.add_argument("--cache-dir", default=None,
+                     help="cache directory (default: $FLUMEN_CACHE_DIR "
+                          "or .flumen_cache)")
+    swp.add_argument("--small", action="store_true",
+                     help="reduced workload shapes (fast smoke runs)")
+    swp.add_argument("--seed", type=int, default=17,
+                     help="base seed for deterministic per-point seeding")
+    swp.add_argument("--out", default=None, metavar="PATH",
+                     help="write the metric records as JSON")
+    swp.add_argument("--progress", action="store_true",
+                     help="print per-point progress to stderr")
+
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -151,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         "compute": _cmd_compute,
         "system": _cmd_system,
         "area": _cmd_area,
+        "sweep": _cmd_sweep,
     }[args.command]
     return handler(args)
 

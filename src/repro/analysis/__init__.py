@@ -1,5 +1,17 @@
 """Metrics, sweeps, exports, and paper-style reporting."""
 
+from repro.analysis.engine import (
+    PointResult,
+    PointSpec,
+    ResultCache,
+    RunTelemetry,
+    SweepEngine,
+    SweepRun,
+    code_version,
+    default_jobs,
+    point_seed,
+    register_task,
+)
 from repro.analysis.export import (
     runs_to_records,
     sweep_to_records,
@@ -20,12 +32,26 @@ from repro.analysis.report import (
     format_ratio,
     format_table,
 )
-from repro.analysis.sweep import SweepPoint, best_of, knee_of, sweep
+from repro.analysis.sweep import (
+    SweepPoint,
+    best_of,
+    knee_of,
+    sweep,
+    sweep_task,
+)
 
 __all__ = [
+    "PointResult",
+    "PointSpec",
+    "ResultCache",
+    "RunTelemetry",
+    "SweepEngine",
     "SweepPoint",
+    "SweepRun",
     "ascii_chart",
     "best_of",
+    "code_version",
+    "default_jobs",
     "edp_reduction",
     "energy_reduction",
     "format_ratio",
@@ -33,10 +59,13 @@ __all__ = [
     "geomean",
     "knee_of",
     "percent_reduction",
+    "point_seed",
     "reductions_vs",
+    "register_task",
     "runs_to_records",
     "speedup",
     "sweep",
+    "sweep_task",
     "sweep_to_records",
     "to_csv",
     "to_json",

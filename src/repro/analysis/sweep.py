@@ -1,7 +1,14 @@
 """Generic parameter-sweep helpers for sensitivity studies.
 
 Used by the Algorithm 1 sensitivity bench (tau / eta / zeta, Section 3.4)
-and the ablation benches DESIGN.md calls out.
+and the ablation benches DESIGN.md calls out.  Since the engine PR, every
+sweep executes through :class:`repro.analysis.engine.SweepEngine`:
+
+* :func:`sweep` keeps the original callable-based API (inline, serial —
+  arbitrary lambdas cannot cross process boundaries);
+* :func:`sweep_task` maps a *registered* task name over a value range,
+  which unlocks worker processes (``jobs``) and the on-disk result
+  cache.
 """
 
 from __future__ import annotations
@@ -9,20 +16,58 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
+from repro.analysis.engine import PointSpec, ResultCache, SweepEngine
+
 
 @dataclass(frozen=True)
 class SweepPoint:
     """One evaluated parameter setting."""
 
     parameter: str
-    value: float
+    value: object
     metrics: dict[str, float]
+
+
+def _points_for(parameter: str, values: list) -> list[PointSpec]:
+    return [PointSpec(key=f"{parameter}[{i}]={value!r}",
+                      params={"value": value})
+            for i, value in enumerate(values)]
 
 
 def sweep(parameter: str, values: Iterable[float],
           evaluate: Callable[[float], dict[str, float]]) -> list[SweepPoint]:
-    """Evaluate ``evaluate(value)`` over a parameter range."""
-    return [SweepPoint(parameter, v, evaluate(v)) for v in values]
+    """Evaluate ``evaluate(value)`` over a parameter range (inline)."""
+    values = list(values)
+    engine = SweepEngine(jobs=1)
+    run = engine.run(lambda params, seed: evaluate(params["value"]),
+                     _points_for(parameter, values))
+    run.raise_failures()
+    return [SweepPoint(parameter, value, result.metrics)
+            for value, result in zip(values, run.results)]
+
+
+def sweep_task(parameter: str, values: Iterable, task: str,
+               value_param: str | None = None,
+               base_params: dict | None = None, jobs: int = 1,
+               cache: ResultCache | None = None,
+               base_seed: int = 0) -> list[SweepPoint]:
+    """Map a registered engine task over a value range.
+
+    ``value_param`` names the task parameter the swept value binds to
+    (defaults to ``parameter``); ``base_params`` carries the fixed
+    parameters shared by every point.
+    """
+    values = list(values)
+    value_param = value_param or parameter
+    base = dict(base_params or {})
+    points = [PointSpec(key=f"{task}/{parameter}[{i}]={value!r}",
+                        params={**base, value_param: value})
+              for i, value in enumerate(values)]
+    engine = SweepEngine(jobs=jobs, cache=cache)
+    run = engine.run(task, points, base_seed=base_seed)
+    run.raise_failures()
+    return [SweepPoint(parameter, value, result.metrics)
+            for value, result in zip(values, run.results)]
 
 
 def knee_of(points: list[SweepPoint], metric: str,
@@ -45,5 +90,8 @@ def best_of(points: list[SweepPoint], metric: str,
     """Parameter setting optimizing one metric."""
     if not points:
         raise ValueError("no sweep points")
-    key = (lambda p: p.metrics[metric])
+
+    def key(p: SweepPoint) -> float:
+        return p.metrics[metric]
+
     return min(points, key=key) if minimize else max(points, key=key)

@@ -1,0 +1,216 @@
+"""Built-in sweep tasks for :mod:`repro.analysis.engine`.
+
+A task is a module-level function ``fn(params, seed) -> metrics`` so it
+can cross a :class:`~concurrent.futures.ProcessPoolExecutor` boundary by
+name.  The registered set covers the repository's standing experiments:
+
+``system_point``
+    One (workload, configuration) cell of the Figures 13-15 system sweep.
+``alg1_mix``
+    The Section 3.4 mixed communication + computation run used by the
+    tau/eta/zeta sensitivity scans.
+``noc_latency``
+    One synthetic-traffic network simulation (Figure 11 points and the
+    network/fabric ablations).
+``selftest``
+    A cheap deterministic task exercised by the engine's own tests and
+    the CI smoke job; ``params={"fail": true}`` raises on purpose to
+    exercise failure isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.engine import register_task
+from repro.config import DeviceParams, SchedulerConfig, SystemConfig
+from repro.core.system import CONFIGURATIONS, SystemModel, WorkloadRun
+from repro.multicore.energy import EnergyBreakdown
+
+#: Energy components serialized into system-sweep records.
+ENERGY_COMPONENTS = ("core", "l1", "l2", "l3", "dram", "nop", "mzim")
+
+
+def run_to_record(run: WorkloadRun) -> dict:
+    """Serialize a :class:`WorkloadRun` to a JSON-safe metrics mapping."""
+    return {
+        "workload": run.workload,
+        "configuration": run.configuration,
+        "runtime_s": run.runtime_s,
+        "core_cycles": run.core_cycles,
+        "comm_cycles": run.comm_cycles,
+        "mzim_cycles": run.mzim_cycles,
+        "avg_packet_latency": run.avg_packet_latency,
+        "offloaded_macs": run.offloaded_macs,
+        "energy": {c: getattr(run.energy, c) for c in ENERGY_COMPONENTS},
+        "energy_total_j": run.energy.total,
+        "edp_js": run.edp,
+    }
+
+
+def run_from_record(record: dict) -> WorkloadRun:
+    """Reconstruct a :class:`WorkloadRun` from :func:`run_to_record`.
+
+    JSON round-trips doubles exactly, so the rebuilt run is numerically
+    identical to the evaluated one — cached and fresh sweeps agree to
+    the last bit.
+    """
+    energy = EnergyBreakdown(**record["energy"])
+    return WorkloadRun(
+        workload=record["workload"],
+        configuration=record["configuration"],
+        runtime_s=record["runtime_s"],
+        energy=energy,
+        core_cycles=record["core_cycles"],
+        comm_cycles=record["comm_cycles"],
+        mzim_cycles=record["mzim_cycles"],
+        avg_packet_latency=record["avg_packet_latency"],
+        offloaded_macs=record["offloaded_macs"])
+
+
+def _parameter_tables() -> dict:
+    """Cache-key context: the default system + device parameter tables."""
+    return {
+        "system": dataclasses.asdict(SystemConfig()),
+        "devices": dataclasses.asdict(DeviceParams()),
+    }
+
+
+def _find_workload(name: str, shapes: str):
+    from repro.workloads import paper_workloads, small_workloads
+    if shapes == "paper":
+        candidates = paper_workloads()
+    elif shapes == "small":
+        candidates = small_workloads()
+    else:
+        raise ValueError(f"unknown shapes {shapes!r}; "
+                         f"use 'paper' or 'small'")
+    for workload in candidates:
+        if workload.name == name:
+            return workload
+    known = sorted(w.name for w in candidates)
+    raise ValueError(f"unknown workload {name!r}; known: {known}")
+
+
+@register_task("system_point", context=_parameter_tables)
+def system_point(params: dict, seed: int) -> dict:
+    """Evaluate one (workload, configuration) pair of the system sweep.
+
+    Params: ``workload`` (name), ``configuration`` (one of
+    ``CONFIGURATIONS``), ``shapes`` ("paper"/"small", default "paper"),
+    ``traffic_seed`` (optional override of the engine-derived seed).
+    """
+    configuration = params["configuration"]
+    if configuration not in CONFIGURATIONS:
+        raise ValueError(f"unknown configuration {configuration!r}; "
+                         f"known: {CONFIGURATIONS}")
+    workload = _find_workload(params["workload"],
+                              params.get("shapes", "paper"))
+    model = SystemModel(traffic_seed=int(params.get("traffic_seed", seed)))
+    return run_to_record(model.run(workload, configuration))
+
+
+@register_task("alg1_mix")
+def alg1_mix(params: dict, seed: int) -> dict:
+    """Section 3.4 mixed comm + compute run; service/latency metrics.
+
+    Params: any of ``tau_cycles`` / ``eta`` / ``zeta`` (scheduler
+    overrides), plus ``load``, ``cycles``, ``request_period``,
+    ``traffic_seed``.
+    """
+    from repro.core.accelerator import plan_offload
+    from repro.core.control_unit import ComputeRequest, MZIMControlUnit
+    from repro.core.scheduler import FlumenScheduler
+    from repro.noc.flumen_net import FlumenNetwork
+    from repro.noc.traffic import TrafficGenerator
+
+    overrides = {k: params[k] for k in ("tau_cycles", "eta", "zeta")
+                 if k in params}
+    if "tau_cycles" in overrides:
+        overrides["tau_cycles"] = int(overrides["tau_cycles"])
+    scheduler_cfg = SchedulerConfig(**overrides)
+    system = SystemConfig().replace(scheduler=scheduler_cfg)
+    load = float(params.get("load", 0.35))
+    cycles = int(params.get("cycles", 4000))
+    period = int(params.get("request_period", 120))
+    traffic_seed = int(params.get("traffic_seed", seed))
+
+    job = plan_offload(8, 8, 256, 8, 8)
+    net = FlumenNetwork(16)
+    control = MZIMControlUnit(net, system)
+    scheduler = FlumenScheduler(control, system)
+    traffic = TrafficGenerator(16, "uniform", load, seed=traffic_seed)
+    submitted = 0
+    for cycle in range(cycles):
+        for packet in traffic.packets_for_cycle(net.cycle):
+            net.offer_packet(packet)
+        if cycle % period == 0:
+            control.compute_buffer.append(ComputeRequest(
+                node=cycle % 16, plan=job, matrix_key="k",
+                submit_cycle=cycle, ports_needed=4,
+                duration_override=60))
+            control.requests_received += 1
+            submitted += 1
+        scheduler.tick()
+        net.step()
+    return {
+        "submitted": float(submitted),
+        "serviced": float(scheduler.stats.completed),
+        "service_rate": scheduler.stats.completed / max(submitted, 1),
+        "avg_wait": scheduler.stats.average_wait,
+        "packet_latency": net.latency.average,
+    }
+
+
+@register_task("noc_latency")
+def noc_latency(params: dict, seed: int) -> dict:
+    """One synthetic-traffic network run; latency/throughput metrics.
+
+    Params: ``topology`` (any :func:`make_topology` name, or "optbus" /
+    "flumen"), ``pattern``, ``load``, ``nodes``, ``cycles``, ``warmup``,
+    ``packet_size``, ``traffic_seed``, plus topology kwargs ``num_vcs``,
+    ``buffer_depth`` (electrical) and ``reconfig_cycles``,
+    ``arbitration``, ``pipelined_setup`` (Flumen).
+    """
+    from repro.noc.flumen_net import FlumenNetwork
+    from repro.noc.network import Network
+    from repro.noc.optbus import OptBusNetwork
+    from repro.noc.topology import make_topology
+    from repro.noc.traffic import TrafficGenerator
+
+    topology = params.get("topology", "mesh")
+    nodes = int(params.get("nodes", 16))
+    cycles = int(params.get("cycles", 2000))
+    warmup = int(params.get("warmup", 600))
+    if topology == "flumen":
+        kwargs = {k: params[k] for k in
+                  ("reconfig_cycles", "arbitration", "pipelined_setup")
+                  if k in params}
+        net = FlumenNetwork(nodes, **kwargs)
+    elif topology == "optbus":
+        net = OptBusNetwork(nodes)
+    else:
+        kwargs = {k: int(params[k]) for k in ("num_vcs", "buffer_depth")
+                  if k in params}
+        net = Network(make_topology(topology, nodes), **kwargs)
+    traffic = TrafficGenerator(
+        nodes, params.get("pattern", "uniform"),
+        float(params.get("load", 0.1)),
+        packet_size=int(params.get("packet_size", 4)),
+        seed=int(params.get("traffic_seed", seed)))
+    net.run(traffic, cycles=cycles, warmup=warmup)
+    measured = cycles - warmup
+    return {
+        "avg_latency": net.latency.average,
+        "p99_latency": net.latency.p99,
+        "throughput": net.latency.throughput(nodes, max(measured, 1)),
+    }
+
+
+@register_task("selftest")
+def selftest(params: dict, seed: int) -> dict:
+    """Deterministic toy task for engine tests and the CI smoke path."""
+    if params.get("fail"):
+        raise RuntimeError(params.get("message", "injected failure"))
+    x = float(params.get("x", 0.0))
+    return {"x": x, "square": x * x, "seed": float(seed)}

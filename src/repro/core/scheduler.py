@@ -17,7 +17,7 @@ modulation, WDM width).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import SystemConfig
 from repro.core.accelerator import OffloadPlan

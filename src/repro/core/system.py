@@ -27,7 +27,7 @@ the photonic model (Section 5.3's calibration).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import SystemConfig
 from repro.core.accelerator import OffloadPlan, plan_offload

@@ -10,7 +10,6 @@ configurable share of miss latency.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.config import CoreConfig

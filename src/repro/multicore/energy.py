@@ -9,7 +9,7 @@ energy dominant, caches next, DRAM flat across topologies).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import PICO
 from repro.multicore.cache import HierarchyCounts

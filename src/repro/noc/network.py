@@ -10,7 +10,6 @@ flits traverse the switch, and credits flow back upstream.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 
 from repro.noc.packet import Flit, Packet
 from repro.noc.router import Router

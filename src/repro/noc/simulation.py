@@ -7,7 +7,7 @@ patterns) and the Section 5.2 energy comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.noc.flumen_net import FlumenNetwork
 from repro.noc.network import Network

@@ -35,7 +35,6 @@ from repro.photonics.routing import (
     program_gather,
     program_multicast,
     program_point_to_point,
-    received_power,
 )
 from repro.photonics.svd import SVDProgram, program_svd
 

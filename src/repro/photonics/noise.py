@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import DeviceParams, dbm_to_watts
+from repro.config import DeviceParams
 from repro.photonics.svd import SVDProgram
 
 #: Electron charge, coulombs.

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.photonics.clements import MZIMesh, decompose
-from repro.photonics.devices import attenuator_theta
 
 
 @dataclass

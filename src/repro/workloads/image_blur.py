@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.accelerator import BlockMatmul, conv2d_as_matmul, im2col
+from repro.core.accelerator import BlockMatmul, im2col
 from repro.workloads.base import MatmulPhase, Workload
 
 

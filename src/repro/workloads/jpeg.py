@@ -19,7 +19,6 @@ can bound reconstruction error.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

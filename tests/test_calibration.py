@@ -6,7 +6,6 @@ import pytest
 from repro.photonics.calibration import (
     PhaseOffsets,
     PhysicalMesh,
-    calibrate_by_decomposition,
     calibrate_to,
     matrix_error,
     self_configure,

@@ -14,7 +14,6 @@ from repro.photonics.clements import (
     is_unitary,
     random_unitary,
 )
-from repro.photonics.devices import MZIState
 
 
 def haar(n: int, seed: int) -> np.ndarray:
@@ -169,7 +168,6 @@ class TestPathTracing:
     def test_path_lengths_vary_in_permutation_mesh(self):
         # The paper (Section 3.1.2): path lengths differ, motivating the
         # attenuator column.
-        rng = np.random.default_rng(31)
         lengths = set()
         for seed in range(6):
             targets = list(np.random.default_rng(seed).permutation(8))

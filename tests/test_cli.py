@@ -39,6 +39,32 @@ class TestCLI:
     def test_system_unknown_workload(self, capsys):
         assert main(["system", "--workload", "nope"]) == 2
 
+    def test_sweep_small(self, capsys, tmp_path):
+        out_path = tmp_path / "records.json"
+        assert main(["sweep", "--small", "--workloads", "rotation3d",
+                     "--configs", "mesh", "flumen_a", "--jobs", "1",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "evaluated=2" in out
+        import json
+        records = json.loads(out_path.read_text())
+        assert [r["key"] for r in records] == ["rotation3d/mesh",
+                                               "rotation3d/flumen_a"]
+
+        # Warm rerun: every point served from cache, zero re-evaluations.
+        assert main(["sweep", "--small", "--workloads", "rotation3d",
+                     "--configs", "mesh", "flumen_a", "--jobs", "1",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "evaluated=0" in capsys.readouterr().out
+
+    def test_sweep_unknown_workload(self, capsys):
+        assert main(["sweep", "--workloads", "nope"]) == 2
+
+    def test_sweep_unknown_config(self, capsys):
+        assert main(["sweep", "--configs", "hypercube"]) == 2
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

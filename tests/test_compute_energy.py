@@ -1,6 +1,5 @@
 """Tests for the MZIM compute energy model (Section 5.3, Figure 12b/c)."""
 
-import math
 
 import pytest
 

@@ -1,14 +1,11 @@
 """Tests for the Table 1 / Table 2 configuration spine."""
 
-import math
 
 import pytest
 
 from repro.config import (
     DEFAULT_DEVICES,
     DEFAULT_SYSTEM,
-    DeviceParams,
-    SystemConfig,
     db_to_linear,
     dbm_to_watts,
     linear_to_db,

@@ -5,7 +5,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.config import DeviceParams
 from repro.photonics.devices import (
     BAR_THETA,
     CROSS_THETA,

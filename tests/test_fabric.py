@@ -1,6 +1,5 @@
 """Tests for the Flumen fabric: partitioning, programming, loss accounting."""
 
-import math
 
 import numpy as np
 import pytest

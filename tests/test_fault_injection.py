@@ -21,7 +21,6 @@ from repro.photonics.calibration import (
 from repro.photonics.clements import decompose, random_unitary
 from repro.photonics.devices import BAR_THETA, MZIState
 from repro.photonics.routing import (
-    permutation_matrix,
     program_point_to_point,
     received_power,
 )

@@ -17,7 +17,6 @@ from repro.core.scheduler import FlumenScheduler
 from repro.noc.flumen_net import FlumenNetwork
 from repro.noc.packet import Packet
 from repro.photonics.fabric import FlumenFabric, PartitionKind
-from repro.noc.traffic import TrafficGenerator
 
 
 @pytest.fixture
@@ -47,8 +46,6 @@ def test_end_to_end_offload(stack):
     assert control.advise_offload()
     control.submit(request, 0)
 
-    # 3. Background traffic in the half that stays communicative.
-    traffic = TrafficGenerator(16, "uniform", 0.0, seed=1)
     for cycle in range(5):
         scheduler.tick()
         net.step()

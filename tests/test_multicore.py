@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import CacheConfig, CoreConfig, SystemConfig
+from repro.config import CoreConfig
 from repro.multicore.area import AreaModel, flumen_mzim_mzis
 from repro.multicore.cache import (
     Cache,

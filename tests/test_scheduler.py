@@ -13,7 +13,6 @@ from repro.core.control_unit import (
 from repro.core.scheduler import FlumenScheduler, compute_duration_cycles
 from repro.noc.flumen_net import FlumenNetwork
 from repro.noc.packet import Packet
-from repro.noc.traffic import TrafficGenerator
 
 
 def small_plan(vectors=8):
@@ -231,7 +230,6 @@ class TestScheduler:
         sched.run(3)
         assert sched.stats.granted == 1
         # Endpoints 8..15 are free: traffic among them completes.
-        tg = TrafficGenerator(16, "uniform", 0.0)  # no background noise
         net.offer_packet(Packet(src=9, dst=14, size_flits=4, create_cycle=0))
         sched.run(60)
         assert net.latency.received == 1

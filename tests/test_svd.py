@@ -1,15 +1,12 @@
 """Tests for the SVD MZIM programming (Section 3.1.1 / 3.3.1)."""
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.photonics.svd import (
-    SVDProgram,
     mvm_digital_op_count,
     program_svd,
     spectral_scale,
