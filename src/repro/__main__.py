@@ -15,12 +15,23 @@ Commands
 ``sweep``
     Full workload x configuration sweep through the parallel execution
     engine, with the on-disk result cache and a JSON artifact.
+``trace``
+    One fully-instrumented run exported as Chrome trace-event JSON
+    (Perfetto-loadable) plus a JSONL metrics snapshot.
+
+Deliverable output (tables, telemetry, artifact paths) goes to stdout
+via :func:`repro.analysis.report.emit`; diagnostics go to stderr through
+:mod:`logging` (``--log-level`` adjusts verbosity).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import logging
+
+from repro.analysis.report import emit
+
+log = logging.getLogger("repro.cli")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -30,7 +41,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro.workloads import paper_workloads
 
     cfg = DEFAULT_SYSTEM
-    print(format_table(
+    emit(format_table(
         ["quantity", "value"],
         [["cores", cfg.core.count],
          ["chiplets", cfg.chiplets],
@@ -45,9 +56,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
     rows = [[wl.name, f"{wl.total_macs():,}",
              len(wl.phases()), f"{wl.extra_core_ops():,}"]
             for wl in paper_workloads()]
-    print()
-    print(format_table(["workload", "MACs", "phases", "core-side ops"],
-                       rows, title="Workloads (paper shapes)"))
+    emit()
+    emit(format_table(["workload", "MACs", "phases", "core-side ops"],
+                      rows, title="Workloads (paper shapes)"))
     return 0
 
 
@@ -60,7 +71,7 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     results = load_sweep(args.topology, args.pattern, loads, cfg)
     rows = [[r.load, f"{r.avg_latency:.1f}", f"{r.latency.p99:.1f}",
              "saturated" if r.saturated else ""] for r in results]
-    print(format_table(
+    emit(format_table(
         ["load", "avg latency", "p99", ""],
         rows, title=f"{args.topology} / {args.pattern}"))
     return 0
@@ -78,7 +89,7 @@ def _cmd_compute(args: argparse.Namespace) -> int:
             elec = model.electrical_matmul_energy(n, m)
             rows.append([f"{n}x{n}", m, f"{phot * 1e12:.1f}",
                          f"{elec * 1e12:.1f}", f"{elec / phot:.1f}x"])
-    print(format_table(
+    emit(format_table(
         ["MZIM", "vectors", "photonic (pJ)", "electrical (pJ)",
          "advantage"],
         rows, title="Compute energy (Figure 12b model)"))
@@ -92,20 +103,20 @@ def _cmd_system(args: argparse.Namespace) -> int:
 
     workloads = {wl.name: wl for wl in paper_workloads()}
     if args.workload not in workloads:
-        print(f"unknown workload {args.workload!r}; "
-              f"choose from {sorted(workloads)}", file=sys.stderr)
+        log.error("unknown workload %r; choose from %s",
+                  args.workload, sorted(workloads))
         return 2
     runs = SystemModel().run_all(workloads[args.workload])
     rows = [[cfg, f"{r.runtime_s * 1e6:.1f}",
              f"{r.energy.total * 1e6:.1f}", f"{r.edp * 1e9:.3f}"]
             for cfg, r in runs.items()]
-    print(format_table(
+    emit(format_table(
         ["config", "runtime (us)", "energy (uJ)", "EDP (nJ*s)"],
         rows, title=f"System model: {args.workload}"))
     mesh, fa = runs["mesh"], runs["flumen_a"]
-    print(f"\nFlumen-A vs Mesh: {mesh.runtime_s / fa.runtime_s:.2f}x "
-          f"speedup, {mesh.energy.total / fa.energy.total:.2f}x energy, "
-          f"{mesh.edp / fa.edp:.2f}x EDP")
+    emit(f"\nFlumen-A vs Mesh: {mesh.runtime_s / fa.runtime_s:.2f}x "
+         f"speedup, {mesh.energy.total / fa.energy.total:.2f}x energy, "
+         f"{mesh.edp / fa.edp:.2f}x EDP")
     return 0
 
 
@@ -114,7 +125,7 @@ def _cmd_area(args: argparse.Namespace) -> int:
     from repro.multicore.area import AreaModel
 
     area = AreaModel()
-    print(format_table(
+    emit(format_table(
         ["component", "mm^2"],
         [["Flumen endpoint", f"{area.flumen_endpoint().total:.2f}"],
          ["8x8 MZIM + controller",
@@ -138,7 +149,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.workloads import paper_workloads
 
     if args.jobs < 1:
-        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        log.error("--jobs must be >= 1, got %d", args.jobs)
         return 2
 
     known_workloads = [wl.name for wl in paper_workloads()]
@@ -146,13 +157,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = list(dict.fromkeys(args.configs or CONFIGURATIONS))
     for name in workloads:
         if name not in known_workloads:
-            print(f"unknown workload {name!r}; "
-                  f"choose from {known_workloads}", file=sys.stderr)
+            log.error("unknown workload %r; choose from %s",
+                      name, known_workloads)
             return 2
     for cfg in configs:
         if cfg not in CONFIGURATIONS:
-            print(f"unknown configuration {cfg!r}; "
-                  f"choose from {list(CONFIGURATIONS)}", file=sys.stderr)
+            log.error("unknown configuration %r; choose from %s",
+                      cfg, list(CONFIGURATIONS))
             return 2
 
     shapes = "small" if args.small else "paper"
@@ -162,11 +173,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               for wl in workloads for cfg in configs]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
+    if args.progress and log.getEffectiveLevel() > logging.INFO:
+        log.setLevel(logging.INFO)
+
     def progress(done: int, total: int, result) -> None:
         origin = "cache" if result.from_cache else (
             "ok" if result.ok else "FAILED")
-        print(f"  [{done}/{total}] {result.key}: {origin}",
-              file=sys.stderr)
+        log.info("[%d/%d] %s: %s", done, total, result.key, origin)
 
     engine = SweepEngine(jobs=args.jobs, cache=cache,
                          progress=progress if args.progress else None)
@@ -177,26 +190,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
              f"{r.metrics['energy_total_j'] * 1e6:.1f}",
              f"{r.metrics['edp_js'] * 1e9:.3f}"]
             for r in run.ok_results()]
-    print(format_table(
+    emit(format_table(
         ["workload", "config", "runtime (us)", "energy (uJ)",
          "EDP (nJ*s)"],
         rows, title=f"System sweep ({shapes} shapes, jobs={args.jobs})"))
     for failure in run.failed_results():
-        print(f"FAILED {failure.key}: {failure.error}", file=sys.stderr)
-    print(f"telemetry: {run.telemetry.summary()}")
+        log.error("FAILED %s: %s", failure.key, failure.error)
+    emit(f"telemetry: {run.telemetry.summary()}")
 
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(run.records(), handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote {len(run.results)} records to {args.out}")
+        emit(f"wrote {len(run.results)} records to {args.out}")
     return 1 if run.failed_results() else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import format_table
+    from repro.analysis.trace import trace_workload
+    from repro.obs import (
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_metrics_jsonl,
+    )
+
+    shapes = "small" if args.small else "paper"
+    log.info("tracing %s under %s (%s shapes, seed=%d)",
+             args.workload, args.config, shapes, args.seed)
+    trace = trace_workload(args.workload, configuration=args.config,
+                           shapes=shapes, traffic_seed=args.seed)
+
+    coverage = trace.layer_coverage()
+    emit(format_table(
+        ["layer", "events"],
+        [[layer, count] for layer, count in coverage.items()],
+        title=f"Trace: {args.workload}/{args.config} ({shapes} shapes)"))
+
+    out = Path(args.out)
+    write_chrome_trace(out, trace.obs.tracer,
+                       other_data=trace.other_data())
+    metrics_out = (Path(args.metrics_out) if args.metrics_out
+                   else out.with_suffix(".metrics.jsonl"))
+    write_metrics_jsonl(metrics_out, [trace.metrics_snapshot()])
+    emit(f"wrote trace: {out} ({len(trace.obs.tracer.events)} events)")
+    emit(f"wrote metrics: {metrics_out}")
+
+    missing = trace.missing_layers()
+    if missing:
+        log.warning("layers with no events: %s", ", ".join(missing))
+    if args.check:
+        problems = validate_chrome_trace(trace.payload())
+        for problem in problems:
+            log.error("schema: %s", problem)
+        if problems or missing:
+            return 1
+        emit("schema check: ok")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Flumen (ISCA 2023) reproduction toolkit")
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="diagnostic verbosity on stderr (default: warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="configuration + workload inventory")
@@ -236,9 +298,35 @@ def main(argv: list[str] | None = None) -> int:
     swp.add_argument("--out", default=None, metavar="PATH",
                      help="write the metric records as JSON")
     swp.add_argument("--progress", action="store_true",
-                     help="print per-point progress to stderr")
+                     help="log per-point progress to stderr")
+
+    trc = sub.add_parser(
+        "trace", help="instrumented run -> Chrome trace JSON "
+                      "(Perfetto-loadable) + metrics JSONL")
+    trc.add_argument("workload", nargs="?", default="rotation3d",
+                     help="workload name (default: rotation3d)")
+    trc.add_argument("--config", default="flumen_a",
+                     choices=["ring", "mesh", "optbus", "flumen_i",
+                              "flumen_a"],
+                     help="configuration to trace (default: flumen_a, "
+                          "the only one exercising all five layers)")
+    trc.add_argument("--small", action="store_true",
+                     help="reduced workload shapes (fast smoke runs)")
+    trc.add_argument("--seed", type=int, default=17,
+                     help="traffic seed (same seed -> identical trace)")
+    trc.add_argument("--out", default="trace.json", metavar="PATH",
+                     help="trace output path (default: trace.json)")
+    trc.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="metrics JSONL path (default: derived from "
+                          "--out)")
+    trc.add_argument("--check", action="store_true",
+                     help="schema-check the emitted trace; nonzero exit "
+                          "on problems or missing layers")
 
     args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s")
     handler = {
         "info": _cmd_info,
         "latency": _cmd_latency,
@@ -246,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
         "system": _cmd_system,
         "area": _cmd_area,
         "sweep": _cmd_sweep,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 

@@ -41,6 +41,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import NULL_OBS, Obs
+
 #: Default cache location, overridable via the environment.
 CACHE_DIR_ENV = "FLUMEN_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".flumen_cache"
@@ -273,6 +275,17 @@ class RunTelemetry:
                 f"elapsed={self.duration_s:.2f}s "
                 f"task_time={self.task_seconds:.2f}s")
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (timing included; strip for determinism)."""
+        return {
+            "total": self.total,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "duration_s": self.duration_s,
+            "task_seconds": self.task_seconds,
+        }
+
 
 @dataclass
 class SweepRun:
@@ -361,12 +374,13 @@ class SweepEngine:
 
     def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
                  progress: Callable[[int, int, PointResult], None]
-                 | None = None) -> None:
+                 | None = None, obs: Obs = NULL_OBS) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.obs = obs
 
     def run(self, task: str | Callable[[dict, int], Mapping],
             points: Sequence[PointSpec], base_seed: int = 0) -> SweepRun:
@@ -429,7 +443,21 @@ class SweepEngine:
         telemetry.duration_s = time.perf_counter() - start
         final = [r for r in results if r is not None]
         assert len(final) == len(points)
+        self._record_telemetry(task_name, telemetry)
         return SweepRun(task=task_name, results=final, telemetry=telemetry)
+
+    def _record_telemetry(self, task_name: str,
+                          telemetry: RunTelemetry) -> None:
+        """Mirror the run counters into the metrics registry."""
+        metrics = self.obs.metrics
+        metrics.counter("engine.points_total", task=task_name).inc(
+            telemetry.total)
+        metrics.counter("engine.points_evaluated", task=task_name).inc(
+            telemetry.evaluated)
+        metrics.counter("engine.cache_hits", task=task_name).inc(
+            telemetry.cache_hits)
+        metrics.counter("engine.failures", task=task_name).inc(
+            telemetry.failures)
 
     # ------------------------------------------------------------------
 

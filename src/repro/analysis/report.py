@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
+import sys
 from collections.abc import Mapping, Sequence
+
+
+def emit(text: str = "") -> None:
+    """Write deliverable output (tables, summaries, artifacts) to stdout.
+
+    The CLI separates *results* — stable stdout that tests and CI grep —
+    from *diagnostics*, which go through :mod:`logging` to stderr.  This
+    is the single sanctioned stdout sink, which lets ruff's T20 (no bare
+    ``print``) cover all of ``src/``.
+    """
+    sys.stdout.write(text + "\n")
 
 
 def format_table(headers: Sequence[str],

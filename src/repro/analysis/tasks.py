@@ -159,6 +159,9 @@ def alg1_mix(params: dict, seed: int) -> dict:
         "service_rate": scheduler.stats.completed / max(submitted, 1),
         "avg_wait": scheduler.stats.average_wait,
         "packet_latency": net.latency.average,
+        # Full JSON-ready snapshots ride along with the legacy keys.
+        "scheduler": scheduler.stats.to_dict(),
+        "latency": net.latency.to_dict(),
     }
 
 
@@ -204,6 +207,9 @@ def noc_latency(params: dict, seed: int) -> dict:
         "avg_latency": net.latency.average,
         "p99_latency": net.latency.p99,
         "throughput": net.latency.throughput(nodes, max(measured, 1)),
+        # Full JSON-ready snapshots ride along with the legacy keys.
+        "latency": net.latency.to_dict(),
+        "utilization": net.utilization.to_dict(),
     }
 
 

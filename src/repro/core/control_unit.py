@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.config import SystemConfig
 from repro.core.accelerator import BlockMatmul, OffloadPlan
 from repro.noc.flumen_net import FlumenNetwork
+from repro.obs import NULL_OBS, Obs
 
 _request_ids = itertools.count()
 
@@ -91,7 +92,8 @@ class MZIMControlUnit:
     def __init__(self, network: FlumenNetwork,
                  system: SystemConfig | None = None,
                  matrix_memory_blocks: int = 256,
-                 arbitration_latency_cycles: int = 2) -> None:
+                 arbitration_latency_cycles: int = 2,
+                 obs: Obs = NULL_OBS) -> None:
         self.network = network
         self.system = system or SystemConfig()
         #: Single buffer of compute requests per network edge (Figure 8);
@@ -102,6 +104,10 @@ class MZIMControlUnit:
         #: waveguide.
         self.arbitration_latency_cycles = arbitration_latency_cycles
         self.requests_received = 0
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._m_offload_accept = obs.metrics.counter("core.offload_accepted")
+        self._m_offload_reject = obs.metrics.counter("core.offload_rejected")
 
     @property
     def fabric_ports(self) -> int:
@@ -118,6 +124,17 @@ class MZIMControlUnit:
         k = self.endpoints_per_port
         return set(range(lo_port * k, hi_port * k))
 
+    def enqueue(self, request: ComputeRequest) -> None:
+        """Place a request in the compute buffer (already arbitrated)."""
+        self.compute_buffer.append(request)
+        self.requests_received += 1
+        self._m_offload_accept.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "core", "offload", "offload_accept", request.submit_cycle,
+                request_id=request.request_id, node=request.node,
+                ports_needed=request.ports_needed)
+
     def submit(self, request: ComputeRequest, cycle: int) -> None:
         """Accept a compute request over the arbitration waveguide."""
         if request.ports_needed > self.fabric_ports:
@@ -128,8 +145,7 @@ class MZIMControlUnit:
             raise KeyError(
                 f"matrix {request.matrix_key!r} must be preloaded into "
                 f"matrix memory before requesting compute (Section 3.3.3)")
-        self.compute_buffer.append(request)
-        self.requests_received += 1
+        self.enqueue(request)
 
     def network_utilization(self, scan_depth: float | None = None) -> float:
         """Utilization feedback broadcast to the chiplets (Section 3.4)."""
@@ -142,4 +158,13 @@ class MZIMControlUnit:
         "nodes will not request compute access if the network utilization
         conveyed to them by the MZIM control unit is too high" (Section 3.4).
         """
-        return self.network_utilization() < utilization_ceiling
+        utilization = self.network_utilization()
+        accept = utilization < utilization_ceiling
+        if not accept:
+            self._m_offload_reject.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "core", "offload", "offload_advice", self.network.cycle,
+                utilization=round(utilization, 6),
+                ceiling=utilization_ceiling, accept=accept)
+        return accept

@@ -18,10 +18,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.accelerator import OffloadPlan
 from repro.core.control_unit import ComputeRequest, MZIMControlUnit
+from repro.obs import NULL_OBS, Obs
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.photonics.fabric import FlumenFabric, Partition
 
 
 def compute_duration_cycles(plan: OffloadPlan,
@@ -57,6 +64,9 @@ class ActiveComputation:
     started: bool = False
     grant_cycle: int = 0
     start_cycle: int = 0
+    #: Mirrored photonic partition (only when the scheduler drives a
+    #: :class:`~repro.photonics.fabric.FlumenFabric`).
+    fabric_partition: Partition | None = None
 
     @property
     def ports(self) -> tuple[int, int]:
@@ -76,12 +86,34 @@ class SchedulerStats:
     def average_wait(self) -> float:
         return self.total_wait_cycles / self.granted if self.granted else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of the Algorithm 1 counters."""
+        return {
+            "granted": self.granted,
+            "completed": self.completed,
+            "deferred_evaluations": self.deferred_evaluations,
+            "total_wait_cycles": self.total_wait_cycles,
+            "total_drain_cycles": self.total_drain_cycles,
+            "busy_port_cycles": self.busy_port_cycles,
+            "average_wait": self.average_wait,
+        }
+
 
 class FlumenScheduler:
-    """SchedulerMain + Partitioner (Algorithm 1) over a Flumen network."""
+    """SchedulerMain + Partitioner (Algorithm 1) over a Flumen network.
+
+    ``fabric`` optionally attaches a
+    :class:`~repro.photonics.fabric.FlumenFabric` mirror: grants split
+    the fabric, partition starts program the SVD circuit, completions
+    configure the many-to-one result return and release the ports — so
+    the photonic layer's reprogramming timeline (phase-write counts per
+    event) appears in traces alongside the scheduling decisions.
+    """
 
     def __init__(self, control_unit: MZIMControlUnit,
-                 system: SystemConfig | None = None) -> None:
+                 system: SystemConfig | None = None,
+                 obs: Obs = NULL_OBS,
+                 fabric: FlumenFabric | None = None) -> None:
         self.control = control_unit
         self.system = system or control_unit.system
         self.cfg = self.system.scheduler
@@ -90,6 +122,24 @@ class FlumenScheduler:
         self.cycle = 0
         #: Completed request ids, with completion cycles (for callers).
         self.completions: dict[int, int] = {}
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._m_grants = obs.metrics.counter("core.partition_grants")
+        self._m_deferrals = obs.metrics.counter("core.partition_deferrals")
+        self._m_completed = obs.metrics.counter("core.partitions_completed")
+        self._h_beta = obs.metrics.histogram(
+            "core.beta", bounds=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                 0.8, 0.9, 1.0))
+        self.fabric = fabric
+        if fabric is not None:
+            if fabric.n != control_unit.fabric_ports:
+                raise ValueError(
+                    f"fabric has {fabric.n} ports; control unit manages "
+                    f"{control_unit.fabric_ports}")
+            fabric.obs_clock = lambda: self.cycle
+            # Boot state: the whole fabric is one communication partition
+            # with no circuits programmed yet.
+            fabric.configure_communication({})
 
     # -- Algorithm 1, lines 19-28 ---------------------------------------
 
@@ -102,28 +152,51 @@ class FlumenScheduler:
             if placement is None:
                 remaining.append(request)
                 self.stats.deferred_evaluations += 1
+                self._m_deferrals.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "core", "alg1", "partition_defer", self.cycle,
+                        request_id=request.request_id, reason="no_ports",
+                        ports_needed=request.ports_needed)
                 continue
             lo, hi = placement
             endpoints = self.control.port_range_endpoints(lo, hi)
             beta = network.buffer_utilization(
                 sorted(endpoints), scan_depth=self.cfg.zeta)
-            if beta <= self.cfg.eta:
+            granted = beta <= self.cfg.eta
+            self._h_beta.observe(beta)
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "core", "alg1", "beta_eval", self.cycle,
+                    request_id=request.request_id, beta=round(beta, 6),
+                    eta=self.cfg.eta, zeta=self.cfg.zeta, granted=granted)
+            if granted:
                 network.block_ports(endpoints)
                 duration = (request.duration_override
                             if request.duration_override is not None
                             else compute_duration_cycles(
                                 request.plan, self.system))
-                self.active.append(ActiveComputation(
+                comp = ActiveComputation(
                     request=request, lo_port=lo, hi_port=hi,
                     total_cycles=duration, remaining_cycles=duration,
-                    grant_cycle=self.cycle))
+                    grant_cycle=self.cycle)
+                if self.fabric is not None:
+                    comp.fabric_partition = self.fabric.split(lo, hi)
+                self.active.append(comp)
                 self.stats.granted += 1
+                self._m_grants.inc()
                 self.stats.total_wait_cycles += \
                     self.cycle - request.submit_cycle
                 self.control.compute_buffer.remove(request)
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "core", "alg1", "mzim_block", self.cycle,
+                        request_id=request.request_id, lo_port=lo,
+                        hi_port=hi, endpoints=sorted(endpoints))
             else:
                 remaining.append(request)
                 self.stats.deferred_evaluations += 1
+                self._m_deferrals.inc()
 
     def _find_ports(self, ports_needed: int) -> tuple[int, int] | None:
         """First-fit contiguous free fabric port range."""
@@ -155,6 +228,10 @@ class FlumenScheduler:
                 if network.ports_clear(endpoints):
                     comp.started = True
                     comp.start_cycle = self.cycle
+                    if comp.fabric_partition is not None:
+                        size = comp.hi_port - comp.lo_port
+                        self.fabric.program_compute(
+                            comp.fabric_partition, np.eye(size))
                 else:
                     self.stats.total_drain_cycles += 1
                     still_active.append(comp)
@@ -164,7 +241,24 @@ class FlumenScheduler:
             if comp.remaining_cycles <= 0:
                 network.unblock_ports(endpoints)
                 self.stats.completed += 1
+                self._m_completed.inc()
                 self.completions[comp.request.request_id] = self.cycle
+                if comp.fabric_partition is not None:
+                    self.fabric.configure_gather(
+                        comp.fabric_partition, comp.lo_port)
+                    self.fabric.release(comp.fabric_partition)
+                    comp.fabric_partition = None
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "core", "alg1", "mzim_unblock", self.cycle,
+                        request_id=comp.request.request_id,
+                        endpoints=sorted(endpoints))
+                    self._tracer.complete(
+                        "core", "partitions", "partition",
+                        comp.grant_cycle, self.cycle,
+                        request_id=comp.request.request_id,
+                        lo_port=comp.lo_port, hi_port=comp.hi_port,
+                        drain_cycles=comp.start_cycle - comp.grant_cycle)
             else:
                 still_active.append(comp)
         self.active = still_active

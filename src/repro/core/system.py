@@ -39,6 +39,7 @@ from repro.multicore.energy import CoreEnergyModel, EnergyBreakdown
 from repro.noc.energy import NetworkEnergyModel
 from repro.noc.simulation import make_network
 from repro.noc.traffic import TracePlayback
+from repro.obs import NULL_OBS, Obs
 from repro.photonics.compute_energy import MZIMComputeModel
 
 from typing import TYPE_CHECKING
@@ -79,13 +80,14 @@ class SystemModel:
 
     def __init__(self, system: SystemConfig | None = None,
                  parallel_cores: int = 8, nodes: int = 16,
-                 traffic_seed: int = 17) -> None:
+                 traffic_seed: int = 17, obs: Obs = NULL_OBS) -> None:
         self.system = system or SystemConfig()
         #: Cores that share one workload (these kernels do not scale to
         #: all 64 cores; two chiplets' worth is the paper-era assumption).
         self.parallel_cores = parallel_cores
         self.nodes = nodes
         self.traffic_seed = traffic_seed
+        self.obs = obs
         self.core_model = CoreModel(self.system.core)
         #: Fraction of memory-miss latency still exposed to the cores when
         #: operands stream directly to the MZIM under Flumen-A.
@@ -106,16 +108,33 @@ class SystemModel:
         from L3 to the transceiver), matching Section 5.4.1's observation
         that L1/L2 energy falls while L3/DRAM stay flat.
         """
-        hierarchy = CacheHierarchy(self.system.core, self.system.cache)
+        hierarchy = CacheHierarchy(self.system.core, self.system.cache,
+                                   obs=self.obs)
+        tracer = self.obs.tracer
         total = HierarchyCounts()
-        for _phase, stream in workload.address_streams():
+        # The cache sim is stream-based, not cycle-based; spans on the
+        # multicore track use a "stream offset" clock (cumulative
+        # addresses processed), a deterministic per-layer time domain.
+        offset = 0
+        for phase, stream in workload.address_streams():
+            l3_before = hierarchy.l3.stats.accesses
             if offloaded:
                 for addr in stream:
                     if not hierarchy.l3.access(addr):
                         hierarchy.dram_accesses += 1
                 counts = HierarchyCounts()
+                processed = hierarchy.l3.stats.accesses - l3_before
             else:
                 counts = hierarchy.access_stream(stream)
+                processed = counts.l1.accesses
+            if tracer.enabled:
+                name = getattr(phase, "name", str(phase))
+                tracer.complete(
+                    "multicore", "cache", name, offset, offset + processed,
+                    addresses=processed, offloaded=offloaded,
+                    l1_hits=counts.l1.hits, l2_hits=counts.l2.hits,
+                    l3_hits=counts.l3.hits)
+            offset += processed
             total.l1.accesses += counts.l1.accesses
             total.l1.hits += counts.l1.hits
             total.l2.accesses += counts.l2.accesses
@@ -123,6 +142,16 @@ class SystemModel:
             total.l3.accesses += counts.l3.accesses
             total.l3.hits += counts.l3.hits
         total.dram_accesses = hierarchy.dram_accesses
+        if offloaded:
+            # The L3-direct walk above bypasses access_stream(), so feed
+            # the level counters from the raw cache stats instead.
+            metrics = self.obs.metrics
+            metrics.counter("multicore.cache_hits", level="l3").inc(
+                hierarchy.l3.stats.hits)
+            metrics.counter("multicore.cache_misses", level="l3").inc(
+                hierarchy.l3.stats.misses)
+            metrics.counter("multicore.dram_accesses").inc(
+                hierarchy.dram_accesses)
         return total, hierarchy
 
     def _traffic_events(self, counts: HierarchyCounts, spread_cycles: int,
@@ -156,7 +185,7 @@ class SystemModel:
         Returns (comm_cycles, nop_energy_as_breakdown, avg_latency, net).
         """
         events, scale = self._traffic_events(counts, int(core_cycles))
-        net = make_network(topology, self.nodes)
+        net = make_network(topology, self.nodes, obs=self.obs)
         trace = TracePlayback(events)
         window = max(1, int(core_cycles) // scale)
         net.run(trace, cycles=window, drain=True, max_drain_cycles=20_000)
@@ -190,9 +219,22 @@ class SystemModel:
             raise ValueError(f"unknown configuration {configuration!r}; "
                              f"known: {CONFIGURATIONS}")
         if configuration == "flumen_a":
-            return self._run_accelerated(workload)
-        topology = "flumen" if configuration == "flumen_i" else configuration
-        return self._run_baseline(workload, configuration, topology)
+            run = self._run_accelerated(workload)
+        else:
+            topology = ("flumen" if configuration == "flumen_i"
+                        else configuration)
+            run = self._run_baseline(workload, configuration, topology)
+        if self.obs.tracer.enabled:
+            runtime_cycles = int(round(
+                run.runtime_s * self.system.core.frequency_hz))
+            self.obs.tracer.complete(
+                "engine", "runs", f"{run.workload}/{run.configuration}",
+                0, runtime_cycles,
+                runtime_s=run.runtime_s, energy_j=run.energy.total,
+                core_cycles=run.core_cycles, comm_cycles=run.comm_cycles,
+                mzim_cycles=run.mzim_cycles,
+                offloaded_macs=run.offloaded_macs)
+        return run
 
     def run_all(self, workload: Workload) -> dict[str, WorkloadRun]:
         return {cfg: self.run(workload, cfg) for cfg in CONFIGURATIONS}
@@ -321,23 +363,33 @@ class SystemModel:
             if consumer == mc:
                 consumer = free[-1]
             events.append((cycle, mc, consumer, line_flits))
-        net = make_network("flumen", self.nodes)
-        control = MZIMControlUnit(net, self.system)
-        scheduler = FlumenScheduler(control, self.system)
+        net = make_network("flumen", self.nodes, obs=self.obs)
+        control = MZIMControlUnit(net, self.system, obs=self.obs)
+        fabric = None
+        if self.obs.tracer.enabled:
+            # Mirror grants onto a real photonic fabric only when tracing,
+            # so the reprogramming timeline (phase-write counts) shows up;
+            # the null path skips the SVD decompositions entirely.
+            from repro.photonics.fabric import FlumenFabric
+            fabric = FlumenFabric(control.fabric_ports, obs=self.obs)
+        scheduler = FlumenScheduler(control, self.system, obs=self.obs,
+                                    fabric=fabric)
         # One compute request per phase, holding half the fabric for the
         # (subsampled) photonic pipeline duration.
         hold = max(1, int(mzim_cycles / scale / max(1, len(phases))))
-        for phase in phases:
+        for index, phase in enumerate(phases):
             plan = self._phase_plan(phase, partition_ports)
+            # Explicit per-run ids: the default factory is a process-global
+            # counter, which would leak run ordering into trace args and
+            # break byte-identical same-seed traces.
             request = ComputeRequest(
                 node=0, plan=plan, matrix_key=f"wl/{phase.name}",
                 submit_cycle=0,
                 ports_needed=max(2, control.fabric_ports // 2),
-                duration_override=hold)
+                duration_override=hold, request_id=index)
             # Bypass submit(): phases here model jobs whose phase mappings
             # stream from L3 rather than resident matrix memory.
-            control.compute_buffer.append(request)
-            control.requests_received += 1
+            control.enqueue(request)
         trace = TracePlayback(events)
         for _ in range(window):
             for packet in trace.packets_for_cycle(net.cycle):

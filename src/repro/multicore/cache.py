@@ -18,6 +18,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.config import CacheConfig, CoreConfig
+from repro.obs import NULL_OBS, Obs
 
 
 @dataclass
@@ -88,7 +89,8 @@ class CacheHierarchy:
     """
 
     def __init__(self, core: CoreConfig | None = None,
-                 cache: CacheConfig | None = None) -> None:
+                 cache: CacheConfig | None = None,
+                 obs: Obs = NULL_OBS) -> None:
         core = core or CoreConfig()
         self.cfg = cache or CacheConfig()
         line = self.cfg.line_size_b
@@ -96,6 +98,14 @@ class CacheHierarchy:
         self.l2 = Cache(self.cfg.l2_size_b, self.cfg.l2_assoc, line, "L2")
         self.l3 = Cache(self.cfg.l3_size_b, self.cfg.l3_assoc, line, "L3")
         self.dram_accesses = 0
+        self.obs = obs
+        self._m_hits = {
+            level: obs.metrics.counter("multicore.cache_hits", level=level)
+            for level in ("l1", "l2", "l3")}
+        self._m_misses = {
+            level: obs.metrics.counter("multicore.cache_misses", level=level)
+            for level in ("l1", "l2", "l3")}
+        self._m_dram = obs.metrics.counter("multicore.dram_accesses")
 
     def access(self, addr: int) -> str:
         """Walk the hierarchy; returns the level that served the access."""
@@ -114,12 +124,18 @@ class CacheHierarchy:
         for addr in addresses:
             self.access(addr)
         after = self.snapshot()
-        return HierarchyCounts(
+        counts = HierarchyCounts(
             l1=_delta(before.l1, after.l1),
             l2=_delta(before.l2, after.l2),
             l3=_delta(before.l3, after.l3),
             dram_accesses=after.dram_accesses - before.dram_accesses,
         )
+        for level, stats in (("l1", counts.l1), ("l2", counts.l2),
+                             ("l3", counts.l3)):
+            self._m_hits[level].inc(stats.hits)
+            self._m_misses[level].inc(stats.misses)
+        self._m_dram.inc(counts.dram_accesses)
+        return counts
 
     def snapshot(self) -> HierarchyCounts:
         return HierarchyCounts(

@@ -26,6 +26,7 @@ import numpy as np
 from repro.noc.arbiter import WavefrontArbiter
 from repro.noc.packet import Packet
 from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
+from repro.obs import NULL_OBS, Obs
 
 #: 1 ns phase programming at a 2.5 GHz network clock (Section 4.1).
 DEFAULT_RECONFIG_CYCLES = 3
@@ -36,6 +37,7 @@ class _Circuit:
     packet: Packet
     setup_left: int
     remaining_flits: int
+    grant_cycle: int = 0
 
 
 class FlumenNetwork:
@@ -49,7 +51,8 @@ class FlumenNetwork:
                  request_buffer_capacity: int = 16,
                  utilization_interval: int = 100,
                  pipelined_setup: bool = True,
-                 arbitration: str = "wavefront") -> None:
+                 arbitration: str = "wavefront",
+                 obs: Obs = NULL_OBS) -> None:
         if nodes < 2:
             raise ValueError("need at least two nodes")
         if arbitration not in ("wavefront", "sequential"):
@@ -84,6 +87,27 @@ class FlumenNetwork:
         self.flit_hops = 0
         self.link_traversals = 0
         self.reconfigurations = 0
+        self.arbiter_conflicts = 0
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._m_injected = obs.metrics.counter(
+            "noc.packets_injected", topology=self.name)
+        self._m_delivered = obs.metrics.counter(
+            "noc.packets_delivered", topology=self.name)
+        self._m_reconfig = obs.metrics.counter(
+            "noc.reconfigurations", topology=self.name)
+        self._m_conflicts = obs.metrics.counter(
+            "noc.arbiter_conflicts", topology=self.name)
+        self._m_overflow = obs.metrics.counter(
+            "noc.buffer_overflows", topology=self.name)
+        if self._tracer.enabled:
+            tracer = self._tracer
+            interval = utilization_interval
+
+            def _flush(index: int, fraction: float) -> None:
+                tracer.counter("noc", "links", "link_busy_fraction",
+                               (index + 1) * interval, busy=fraction)
+            self.utilization.on_flush = _flush
 
     # -- scheduler hooks ---------------------------------------------------
 
@@ -139,7 +163,9 @@ class FlumenNetwork:
             self.request_buffers[packet.src].append(packet)
         else:
             self._overflow[packet.src].append(packet)
+            self._m_overflow.inc()
         self.injected_packets += 1
+        self._m_injected.inc()
 
     def _refill_buffers(self) -> None:
         for port in range(self.nodes):
@@ -178,9 +204,18 @@ class FlumenNetwork:
             self.flit_hops += 1
             self.link_traversals += 1
             if circuit.remaining_flits == 0:
+                delivered = self.cycle + self.propagation_delay
                 self.latency.record(circuit.packet.create_cycle,
-                                    self.cycle + self.propagation_delay,
-                                    circuit.packet.size_flits)
+                                    delivered, circuit.packet.size_flits)
+                self._m_delivered.inc()
+                if self._tracer.enabled:
+                    self._tracer.complete(
+                        "noc", f"port{src}", "packet",
+                        circuit.packet.create_cycle, delivered,
+                        src=src, dst=circuit.packet.dst,
+                        flits=circuit.packet.size_flits,
+                        grant_wait=(circuit.grant_cycle
+                                    - circuit.packet.create_cycle))
                 finished.append(src)
         for src in finished:
             for dst in self._circuits[src].packet.destinations:
@@ -207,9 +242,11 @@ class FlumenNetwork:
             packet = buf.popleft()
             self._circuits[src] = _Circuit(
                 packet=packet, setup_left=self.reconfig_cycles,
-                remaining_flits=packet.size_flits)
+                remaining_flits=packet.size_flits,
+                grant_cycle=self.cycle)
             self._busy_outputs.update(dsts)
             self.reconfigurations += 1
+            self._m_reconfig.inc()
 
         # 3b. Build the unicast request matrix from head-of-buffer packets.
         requests = np.zeros((self.nodes, self.nodes), dtype=bool)
@@ -240,13 +277,21 @@ class FlumenNetwork:
                     grants = [(src, int(row[0]))]
                     self._sequential_rr = (src + 1) % self.nodes
                     break
+        conflicts = int(requests.sum()) - len(grants)
+        if conflicts > 0:
+            # Requesting sources the allocator could not serve this cycle
+            # (output taken or lost the matching) — contention pressure.
+            self.arbiter_conflicts += conflicts
+            self._m_conflicts.inc(conflicts)
         for src, dst in grants:
             packet = self.request_buffers[src].popleft()
             assert packet.dst == dst
             circuit = _Circuit(packet=packet,
                                setup_left=self.reconfig_cycles,
-                               remaining_flits=packet.size_flits)
+                               remaining_flits=packet.size_flits,
+                               grant_cycle=self.cycle)
             self.reconfigurations += 1
+            self._m_reconfig.inc()
             if src in self._circuits:
                 self._pending[src] = circuit
                 # Reserve the output now so no other grant races it before
@@ -258,6 +303,10 @@ class FlumenNetwork:
 
         self._refill_buffers()
         self.utilization.record_cycle(busy)
+        if self._tracer.enabled and self.cycle \
+                and self.cycle % self.utilization.interval_cycles == 0:
+            self._tracer.counter("noc", "arbiter", "arbiter_conflicts",
+                                 self.cycle, total=self.arbiter_conflicts)
         self.cycle += 1
 
     def quiescent(self) -> bool:

@@ -15,6 +15,7 @@ from repro.noc.packet import Flit, Packet
 from repro.noc.router import Router
 from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
 from repro.noc.topology import LOCAL_PORT, Topology
+from repro.obs import NULL_OBS, Obs
 
 #: Effectively infinite credits for ejection ports.
 _EJECT_CREDITS = 10 ** 9
@@ -25,7 +26,8 @@ class Network:
 
     def __init__(self, topology: Topology, num_vcs: int = 2,
                  buffer_depth: int = 8, utilization_interval: int = 100,
-                 router_pipeline_cycles: int = 2) -> None:
+                 router_pipeline_cycles: int = 2,
+                 obs: Obs = NULL_OBS) -> None:
         self.topology = topology
         self.num_vcs = num_vcs
         self.buffer_depth = buffer_depth
@@ -58,6 +60,22 @@ class Network:
         self.flit_hops = 0
         self.link_traversals = 0
         self.ejected_flits = 0
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._m_injected = obs.metrics.counter(
+            "noc.packets_injected", topology=topology.name)
+        self._m_delivered = obs.metrics.counter(
+            "noc.packets_delivered", topology=topology.name)
+        self._m_hops = obs.metrics.counter(
+            "noc.flit_hops", topology=topology.name)
+        if self._tracer.enabled:
+            tracer = self._tracer
+            interval = utilization_interval
+
+            def _flush(index: int, fraction: float) -> None:
+                tracer.counter("noc", "links", "link_busy_fraction",
+                               (index + 1) * interval, busy=fraction)
+            self.utilization.on_flush = _flush
 
     # -- traffic ---------------------------------------------------------
 
@@ -69,6 +87,7 @@ class Network:
             flit.vc = vc
         self.source_queues[packet.src].extend(flits)
         self.injected_packets += 1
+        self._m_injected.inc()
 
     def _inject(self) -> None:
         """Move at most one flit per node from source queue into the router."""
@@ -149,6 +168,14 @@ class Network:
         if flit.is_tail:
             self.latency.record(flit.packet.create_cycle, self.cycle,
                                 flit.packet.size_flits)
+            self._m_delivered.inc()
+            if self._tracer.enabled:
+                packet = flit.packet
+                self._tracer.complete(
+                    "noc", f"node{packet.src}", "packet",
+                    packet.create_cycle, self.cycle,
+                    src=packet.src, dst=packet.dst,
+                    flits=packet.size_flits)
 
     def run(self, traffic, cycles: int, warmup: int = 0,
             drain: bool = False, max_drain_cycles: int = 50_000) -> None:
@@ -159,6 +186,7 @@ class Network:
         in-flight packet is delivered or the drain budget runs out.
         """
         self.latency.warmup_cycles = warmup
+        hops_before = self.flit_hops
         for _ in range(cycles):
             for packet in traffic.packets_for_cycle(self.cycle):
                 self.offer_packet(packet)
@@ -169,6 +197,7 @@ class Network:
                 self.step()
                 budget -= 1
         self.utilization.finish()
+        self._m_hops.inc(self.flit_hops - hops_before)
 
     def quiescent(self) -> bool:
         """True when no flit remains anywhere in the network."""

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.noc.arbiter import RoundRobinArbiter
 from repro.noc.packet import Packet
 from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
+from repro.obs import NULL_OBS, Obs
 
 
 @dataclass
@@ -34,7 +35,8 @@ class OptBusNetwork:
 
     def __init__(self, nodes: int, arbitration_delay: int = 4,
                  propagation_delay: int = 2,
-                 utilization_interval: int = 100) -> None:
+                 utilization_interval: int = 100,
+                 obs: Obs = NULL_OBS) -> None:
         if nodes < 2:
             raise ValueError("need at least two nodes")
         self.nodes = nodes
@@ -58,10 +60,25 @@ class OptBusNetwork:
         self.injected_packets = 0
         self.flit_hops = 0
         self.link_traversals = 0
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._m_injected = obs.metrics.counter(
+            "noc.packets_injected", topology=self.name)
+        self._m_delivered = obs.metrics.counter(
+            "noc.packets_delivered", topology=self.name)
+        if self._tracer.enabled:
+            tracer = self._tracer
+            interval = utilization_interval
+
+            def _flush(index: int, fraction: float) -> None:
+                tracer.counter("noc", "links", "link_busy_fraction",
+                               (index + 1) * interval, busy=fraction)
+            self.utilization.on_flush = _flush
 
     def offer_packet(self, packet: Packet) -> None:
         self.source_queues[packet.src].append(packet)
         self.injected_packets += 1
+        self._m_injected.inc()
 
     def step(self) -> None:
         busy = 0
@@ -78,9 +95,16 @@ class OptBusNetwork:
             self.flit_hops += 1
             self.link_traversals += 1
             if circuit.remaining_flits == 0:
+                delivered = self.cycle + self.propagation_delay
                 self.latency.record(circuit.packet.create_cycle,
-                                    self.cycle + self.propagation_delay,
-                                    circuit.packet.size_flits)
+                                    delivered, circuit.packet.size_flits)
+                self._m_delivered.inc()
+                if self._tracer.enabled:
+                    self._tracer.complete(
+                        "noc", f"bus{bus}", "packet",
+                        circuit.packet.create_cycle, delivered,
+                        src=circuit.packet.src, dst=circuit.packet.dst,
+                        flits=circuit.packet.size_flits)
                 self._active[bus] = None
         # 2. Arbitrate free buses among heads of source queues.
         requests_per_bus: dict[int, list[bool]] = {}

@@ -6,6 +6,7 @@ utilization timelines that reproduce Figure 1.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -13,12 +14,22 @@ import numpy as np
 
 @dataclass
 class LatencyStats:
-    """Per-packet latency accounting with warmup exclusion."""
+    """Per-packet latency accounting with warmup exclusion.
+
+    Packets created during the warmup period are counted in the raw
+    ``received`` / ``received_flits`` totals but excluded from both the
+    latency sample and the ``measured_*`` counters that feed
+    :meth:`throughput` — latency and throughput therefore agree on the
+    measurement window.
+    """
 
     warmup_cycles: int = 0
     latencies: list[int] = field(default_factory=list)
     received: int = 0
     received_flits: int = 0
+    #: Post-warmup packets/flits only — the measurement window's share.
+    measured: int = 0
+    measured_flits: int = 0
 
     def record(self, packet_create_cycle: int, tail_arrival_cycle: int,
                size_flits: int) -> None:
@@ -26,6 +37,8 @@ class LatencyStats:
         self.received_flits += size_flits
         if packet_create_cycle >= self.warmup_cycles:
             self.latencies.append(tail_arrival_cycle - packet_create_cycle)
+            self.measured += 1
+            self.measured_flits += size_flits
 
     @property
     def average(self) -> float:
@@ -41,21 +54,45 @@ class LatencyStats:
         return max(self.latencies) if self.latencies else 0
 
     def throughput(self, nodes: int, measured_cycles: int) -> float:
-        """Accepted flits per node per cycle."""
+        """Accepted flits per node per cycle, over the measurement window.
+
+        Counts only flits of post-warmup packets — the same population
+        the latency statistics describe.  (Warmup-period flits used to
+        leak into this rate; see the regression test.)
+        """
         if measured_cycles <= 0:
             return 0.0
-        return self.received_flits / (nodes * measured_cycles)
+        return self.measured_flits / (nodes * measured_cycles)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of the latency statistics."""
+        return {
+            "received": self.received,
+            "received_flits": self.received_flits,
+            "measured": self.measured,
+            "measured_flits": self.measured_flits,
+            "warmup_cycles": self.warmup_cycles,
+            "avg_latency": self.average,
+            "p99_latency": self.p99,
+            "max_latency": self.maximum,
+        }
 
 
 @dataclass
 class UtilizationTracker:
-    """Per-interval busy fraction of the network's links (Figure 1)."""
+    """Per-interval busy fraction of the network's links (Figure 1).
+
+    ``on_flush(interval_index, fraction)`` — when set — fires as each
+    interval closes; the networks wire it to the tracer's counter
+    events so link-busy timelines land in the Chrome trace.
+    """
 
     num_links: int
     interval_cycles: int = 100
     _busy_in_interval: int = 0
     _cycle_in_interval: int = 0
     timeline: list[float] = field(default_factory=list)
+    on_flush: Callable[[int, float], None] | None = None
 
     def record_cycle(self, busy_links: int) -> None:
         if busy_links > self.num_links:
@@ -71,6 +108,8 @@ class UtilizationTracker:
             self.timeline.append(
                 self._busy_in_interval
                 / (self.num_links * self._cycle_in_interval))
+            if self.on_flush is not None:
+                self.on_flush(len(self.timeline) - 1, self.timeline[-1])
         self._busy_in_interval = 0
         self._cycle_in_interval = 0
 
@@ -86,6 +125,16 @@ class UtilizationTracker:
     @property
     def peak(self) -> float:
         return max(self.timeline) if self.timeline else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of the utilization timeline."""
+        return {
+            "num_links": self.num_links,
+            "interval_cycles": self.interval_cycles,
+            "average": self.average,
+            "peak": self.peak,
+            "timeline": list(self.timeline),
+        }
 
 
 @dataclass
@@ -106,6 +155,22 @@ class SimulationResult:
     @property
     def avg_latency(self) -> float:
         return self.latency.average
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of one simulation run."""
+        return {
+            "topology": self.topology,
+            "pattern": self.pattern,
+            "load": self.load,
+            "cycles": self.cycles,
+            "injected_packets": self.injected_packets,
+            "flit_hops": self.flit_hops,
+            "link_traversals": self.link_traversals,
+            "saturated": self.saturated,
+            "latency": self.latency.to_dict(),
+            "utilization": (self.utilization.to_dict()
+                            if self.utilization else None),
+        }
 
     def summary(self) -> str:
         state = " (saturated)" if self.saturated else ""

@@ -1,0 +1,88 @@
+"""Cross-layer observability: metrics registry + cycle-time tracer.
+
+One :class:`Obs` bundle threads through every model layer (multicore,
+noc, core/Algorithm 1, photonics, engine).  The default is
+:data:`NULL_OBS` — both backends are inert no-ops — so uninstrumented
+runs keep their performance and existing call sites need no changes.
+``Obs.active()`` builds a recording pair; :mod:`repro.obs.export` turns
+the result into Chrome trace-event JSON (Perfetto-loadable) and JSONL
+metric snapshots.
+
+Cycle-time semantics: tracer timestamps are simulation cycles (or a
+component's own deterministic clock, e.g. the multicore layer's stream
+offset), never wall time, so same-seed runs emit byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.export import (
+    chrome_trace_payload,
+    load_and_validate,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import (
+    LAYERS,
+    NULL_TRACER,
+    CycleTracer,
+    NullTracer,
+)
+
+__all__ = [
+    "LAYERS",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Counter",
+    "CycleTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Obs",
+    "chrome_trace_payload",
+    "load_and_validate",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class Obs:
+    """The observability pair handed to instrumented components."""
+
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+    tracer: CycleTracer | NullTracer = field(
+        default_factory=lambda: NULL_TRACER)
+
+    @property
+    def enabled(self) -> bool:
+        """True when either backend records anything."""
+        return self.metrics.enabled or self.tracer.enabled
+
+    @classmethod
+    def active(cls) -> Obs:
+        """A recording registry + tracer pair."""
+        return cls(metrics=MetricsRegistry(), tracer=CycleTracer())
+
+    @classmethod
+    def null(cls) -> Obs:
+        """The shared inert pair (the default everywhere)."""
+        return NULL_OBS
+
+
+#: Shared inert bundle; safe to use as a default argument.
+NULL_OBS = Obs()

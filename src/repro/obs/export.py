@@ -1,0 +1,105 @@
+"""Exporters: Chrome trace-event JSON and JSONL metric snapshots.
+
+``chrome_trace_payload`` produces the JSON object format of the Chrome
+trace-event specification (loadable in Perfetto and ``chrome://tracing``):
+metadata naming events first, then every recorded event in emission
+order.  Serialization is canonical (sorted keys, fixed separators) so
+identical simulations produce byte-identical files.
+
+``validate_chrome_trace`` is the minimal schema check the CI smoke job
+and the tests run against emitted traces: every event must carry
+``name`` / ``ph`` / ``ts`` / ``pid`` / ``tid``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.tracer import CycleTracer, NullTracer
+
+#: Event keys every Chrome trace event must carry.
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+#: Phase codes this tracer can emit (plus metadata).
+KNOWN_PHASES = ("X", "i", "C", "M", "B", "E")
+
+
+def chrome_trace_payload(tracer: CycleTracer | NullTracer,
+                         other_data: dict | None = None) -> dict:
+    """Assemble the trace-event JSON object for one tracer."""
+    payload: dict = {
+        "traceEvents": tracer.metadata_events() + list(tracer.events),
+        "displayTimeUnit": "ms",
+    }
+    if other_data:
+        payload["otherData"] = dict(other_data)
+    return payload
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(path: str | os.PathLike,
+                       tracer: CycleTracer | NullTracer,
+                       other_data: dict | None = None) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = chrome_trace_payload(tracer, other_data)
+    path.write_text(_canonical(payload) + "\n")
+    return path
+
+
+def write_metrics_jsonl(path: str | os.PathLike,
+                        snapshots: list[dict]) -> Path:
+    """Write metric snapshots, one canonical-JSON object per line."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [_canonical(snap) for snap in snapshots]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Schema-check a trace payload; returns a list of problems (empty=ok).
+
+    Checks the containing object shape, the required per-event keys, the
+    phase codes, and that ``ts`` is numeric and non-negative.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload.traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event[{i}] is not an object")
+            continue
+        missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            problems.append(f"event[{i}] missing keys {missing}")
+            continue
+        if event["ph"] not in KNOWN_PHASES:
+            problems.append(f"event[{i}] has unknown phase {event['ph']!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event[{i}] has invalid ts {ts!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            problems.append(f"event[{i}] is a complete span without dur")
+    return problems
+
+
+def load_and_validate(path: str | os.PathLike) -> list[str]:
+    """Read a trace file from disk and schema-check it."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace {path}: {exc}"]
+    return validate_chrome_trace(payload)

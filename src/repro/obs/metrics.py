@@ -1,0 +1,196 @@
+"""Unified metrics registry: counters, gauges, histograms with labels.
+
+Every layer of the model reports through one of these registries instead
+of ad-hoc attribute counters, so a run's complete quantitative state can
+be snapshotted (:meth:`MetricsRegistry.to_dict`) and exported as JSONL
+(:mod:`repro.obs.export`).
+
+Two backends share one interface:
+
+* :class:`MetricsRegistry` — the recording backend.  Instruments are
+  created once (typically in a component's ``__init__``) and mutated on
+  hot paths with plain attribute arithmetic.
+* :class:`NullMetricsRegistry` — the default.  Every instrument request
+  returns one shared no-op instrument, so uninstrumented runs pay a
+  single virtual call per event at most; components that cache their
+  instruments pay nothing per event beyond the no-op method.
+
+Instruments are identified by ``(name, labels)``; requesting the same
+identity twice returns the same instrument, so independent components
+can safely accumulate into shared series.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+#: Default histogram bucket upper bounds (cycles/latency-flavored).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                   500.0, 1000.0, 2000.0, 5000.0)
+
+
+def _series_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Flat series name: ``name`` or ``name{k=v,k2=v2}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total",
+                 "min_seen", "max_seen")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = float("inf")
+        self.max_seen = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min_seen if self.count else 0.0,
+            "max": self.max_seen if self.count else 0.0,
+            "buckets": {
+                (f"le_{b:g}" if i < len(self.bounds) else "inf"): c
+                for i, (b, c) in enumerate(
+                    zip(self.bounds + (float("inf"),), self.bucket_counts))
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Create-once / mutate-often instrument store with labeled series."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @staticmethod
+    def _labels(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _series_key(name, self._labels(labels))
+        if key not in self._counters:
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _series_key(name, self._labels(labels))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge()
+        return self._gauges[key]
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: object) -> Histogram:
+        key = _series_key(name, self._labels(labels))
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(bounds)
+        return self._histograms[key]
+
+    def to_dict(self) -> dict:
+        """Deterministic deep snapshot of every series (sorted keys)."""
+        return {
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value
+                       for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].to_dict()
+                           for k in sorted(self._histograms)},
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """No-op backend: hands out one shared inert instrument."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels: object):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: object):
+        return NULL_INSTRUMENT
+
+
+#: Process-wide default backend for uninstrumented runs.
+NULL_REGISTRY = NullMetricsRegistry()

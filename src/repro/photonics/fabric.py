@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import enum
 import itertools
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.config import DeviceParams, linear_to_db
+from repro.obs import NULL_OBS, Obs
 from repro.photonics.clements import MZIMesh
 from repro.photonics.devices import attenuator_theta
 from repro.photonics.routing import (
@@ -86,7 +87,8 @@ class FlumenFabric:
         Optical device parameters for loss accounting (defaults to Table 2).
     """
 
-    def __init__(self, n: int, devices: DeviceParams | None = None) -> None:
+    def __init__(self, n: int, devices: DeviceParams | None = None,
+                 obs: Obs = NULL_OBS) -> None:
         if n < 4 or n % 2:
             raise ValueError(f"fabric needs an even port count >= 4, got {n}")
         self.n = n
@@ -100,6 +102,30 @@ class FlumenFabric:
         #: Number of phase reprogramming events, by role.
         self.comm_configs = 0
         self.compute_configs = 0
+        self.obs = obs
+        #: Deterministic event clock.  The fabric itself is untimed; a
+        #: driver (e.g. the scheduler's fabric mirror) points this at
+        #: its simulation-cycle counter so reprogramming events land on
+        #: the shared trace timeline.  Unset, events use the config
+        #: ordinal.
+        self.obs_clock: Callable[[], int] | None = None
+        self._m_phase_writes = obs.metrics.counter("photonics.phase_writes")
+        self._m_comm_configs = obs.metrics.counter("photonics.comm_configs")
+        self._m_compute_configs = obs.metrics.counter(
+            "photonics.compute_configs")
+
+    def _obs_cycle(self) -> int:
+        if self.obs_clock is not None:
+            return int(self.obs_clock())
+        return self.comm_configs + self.compute_configs
+
+    def _emit_config_event(self, name: str, phase_writes: int,
+                           **args: object) -> None:
+        self._m_phase_writes.inc(phase_writes)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.instant(
+                "photonics", "fabric", name, self._obs_cycle(),
+                phase_writes=phase_writes, **args)
 
     # ------------------------------------------------------------------
     # structure / inventory
@@ -182,6 +208,7 @@ class FlumenFabric:
                                            PartitionKind.COMMUNICATION))
         new_parts.sort(key=lambda p: p.lo)
         self.partitions = new_parts
+        self._emit_config_event("partition_split", 0, lo=lo, hi=hi)
         if matrix is not None:
             self.program_compute(compute, matrix)
         return compute
@@ -217,6 +244,8 @@ class FlumenFabric:
             else:
                 merged.append(part)
         self.partitions = merged
+        self._emit_config_event("partition_release", 0,
+                                lo=partition.lo, hi=partition.hi)
 
     # ------------------------------------------------------------------
     # programming
@@ -235,6 +264,10 @@ class FlumenFabric:
         partition.svd = program_svd(matrix)
         self.reconfiguration_time_s += self.devices.mzi.compute_program_time_s
         self.compute_configs += 1
+        self._m_compute_configs.inc()
+        self._emit_config_event(
+            "program_compute", partition.svd.num_mzis,
+            lo=partition.lo, hi=partition.hi, size=partition.size)
         return partition.svd
 
     def configure_communication(self, pairs: Mapping[int, int]) -> None:
@@ -266,6 +299,10 @@ class FlumenFabric:
             self.reconfiguration_time_s += \
                 self.devices.mzi.comm_program_time_s
             self.comm_configs += 1
+            self._m_comm_configs.inc()
+            self._emit_config_event(
+                "configure_comm", part.comm_mesh.num_mzis,
+                lo=part.lo, hi=part.hi, pairs=len(local))
         self.equalize_attenuators()
 
     def configure_multicast(self, source: int, destinations: list[int]
@@ -284,6 +321,10 @@ class FlumenFabric:
             source - part.lo, [d - part.lo for d in destinations], part.size)
         self.reconfiguration_time_s += self.devices.mzi.comm_program_time_s
         self.comm_configs += 1
+        self._m_comm_configs.inc()
+        self._emit_config_event(
+            "configure_multicast", part.comm_mesh.num_mzis,
+            source=source, destinations=len(destinations))
 
     def configure_gather(self, partition: Partition,
                          destination: int) -> None:
@@ -294,6 +335,10 @@ class FlumenFabric:
             destination - partition.lo, range(partition.size), partition.size)
         self.reconfiguration_time_s += self.devices.mzi.comm_program_time_s
         self.comm_configs += 1
+        self._m_comm_configs.inc()
+        self._emit_config_event(
+            "configure_gather", partition.comm_mesh.num_mzis,
+            lo=partition.lo, hi=partition.hi, destination=destination)
 
     # ------------------------------------------------------------------
     # optical accounting

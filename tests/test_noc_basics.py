@@ -250,6 +250,30 @@ class TestLatencyStats:
         assert stats.throughput(nodes=4, measured_cycles=10) == \
             pytest.approx(8 / 40)
 
+    def test_throughput_excludes_warmup_flits(self):
+        # Regression: warmup packets are excluded from the latency sample
+        # but their flits used to leak into throughput(), overstating the
+        # rate for the measurement window.
+        stats = LatencyStats(warmup_cycles=100)
+        stats.record(10, 30, 4)    # warmup packet: 4 flits
+        stats.record(150, 170, 4)  # measured packet: 4 flits
+        assert stats.received_flits == 8
+        assert stats.measured_flits == 4
+        assert len(stats.latencies) == stats.measured == 1
+        # Only the measured packet's flits count toward the rate.
+        assert stats.throughput(nodes=4, measured_cycles=100) == \
+            pytest.approx(4 / 400)
+
+    def test_to_dict_roundtrips_counts(self):
+        stats = LatencyStats(warmup_cycles=5)
+        stats.record(0, 3, 2)   # warmup
+        stats.record(10, 14, 2)
+        snap = stats.to_dict()
+        assert snap["received"] == 2
+        assert snap["measured"] == 1
+        assert snap["measured_flits"] == 2
+        assert snap["avg_latency"] == pytest.approx(4.0)
+
     def test_empty_stats_safe(self):
         stats = LatencyStats()
         assert stats.average == 0.0
