@@ -34,6 +34,12 @@ from repro.analysis.report import emit
 log = logging.getLogger("repro.cli")
 
 
+def _configuration_names() -> tuple[str, ...]:
+    """Registered configurations at parser-build time (plugin-aware)."""
+    from repro.core.pipelines import configuration_names
+    return configuration_names()
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.analysis.report import format_table
     from repro.config import DEFAULT_SYSTEM
@@ -145,7 +151,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         SweepEngine,
     )
     from repro.analysis.report import format_table
-    from repro.core.system import CONFIGURATIONS
+    from repro.core.pipelines import configuration_names
     from repro.workloads import paper_workloads
 
     if args.jobs < 1:
@@ -153,17 +159,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
 
     known_workloads = [wl.name for wl in paper_workloads()]
+    known_configs = configuration_names()
     workloads = list(dict.fromkeys(args.workloads or known_workloads))
-    configs = list(dict.fromkeys(args.configs or CONFIGURATIONS))
+    configs = list(dict.fromkeys(args.configs or known_configs))
     for name in workloads:
         if name not in known_workloads:
             log.error("unknown workload %r; choose from %s",
                       name, known_workloads)
             return 2
     for cfg in configs:
-        if cfg not in CONFIGURATIONS:
+        if cfg not in known_configs:
             log.error("unknown configuration %r; choose from %s",
-                      cfg, list(CONFIGURATIONS))
+                      cfg, list(known_configs))
             return 2
 
     shapes = "small" if args.small else "paper"
@@ -306,8 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     trc.add_argument("workload", nargs="?", default="rotation3d",
                      help="workload name (default: rotation3d)")
     trc.add_argument("--config", default="flumen_a",
-                     choices=["ring", "mesh", "optbus", "flumen_i",
-                              "flumen_a"],
+                     choices=list(_configuration_names()),
                      help="configuration to trace (default: flumen_a, "
                           "the only one exercising all five layers)")
     trc.add_argument("--small", action="store_true",

@@ -24,7 +24,8 @@ import dataclasses
 
 from repro.analysis.engine import register_task
 from repro.config import DeviceParams, SchedulerConfig, SystemConfig
-from repro.core.system import CONFIGURATIONS, SystemModel, WorkloadRun
+from repro.core.pipelines import get_configuration
+from repro.core.system import SystemModel, WorkloadRun
 from repro.multicore.energy import EnergyBreakdown
 
 #: Energy components serialized into system-sweep records.
@@ -96,14 +97,13 @@ def _find_workload(name: str, shapes: str):
 def system_point(params: dict, seed: int) -> dict:
     """Evaluate one (workload, configuration) pair of the system sweep.
 
-    Params: ``workload`` (name), ``configuration`` (one of
-    ``CONFIGURATIONS``), ``shapes`` ("paper"/"small", default "paper"),
+    Params: ``workload`` (name), ``configuration`` (any registered
+    pipeline name), ``shapes`` ("paper"/"small", default "paper"),
     ``traffic_seed`` (optional override of the engine-derived seed).
     """
-    configuration = params["configuration"]
-    if configuration not in CONFIGURATIONS:
-        raise ValueError(f"unknown configuration {configuration!r}; "
-                         f"known: {CONFIGURATIONS}")
+    # Resolve early so an unknown name fails with the registered list
+    # before any simulation work happens.
+    configuration = get_configuration(params["configuration"]).name
     workload = _find_workload(params["workload"],
                               params.get("shapes", "paper"))
     model = SystemModel(traffic_seed=int(params.get("traffic_seed", seed)))

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.system import CONFIGURATIONS, SystemModel, WorkloadRun
+from repro.core.pipelines import get_configuration
+from repro.core.system import SystemModel, WorkloadRun
 from repro.obs import LAYERS, Obs, chrome_trace_payload
 
 #: Configurations that exercise all five layers in one run.
@@ -85,9 +86,7 @@ def trace_workload(workload_name: str,
     """
     from repro.analysis.tasks import _find_workload
 
-    if configuration not in CONFIGURATIONS:
-        raise ValueError(f"unknown configuration {configuration!r}; "
-                         f"known: {CONFIGURATIONS}")
+    configuration = get_configuration(configuration).name
     workload = _find_workload(workload_name, shapes)
     obs = Obs.active()
     model = SystemModel(traffic_seed=traffic_seed, obs=obs)

@@ -159,6 +159,11 @@ class SystemConfig:
     phot_link: PhotonicLinkConfig = field(default_factory=PhotonicLinkConfig)
     compute: FlumenComputeConfig = field(default_factory=FlumenComputeConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Cap on packets fed to the NoP cycle simulator per system run;
+    #: heavier memory traces are subsampled and the energy counters
+    #: rescaled.  Every rescale is logged (logger ``repro.system``) so
+    #: no run is capped silently.
+    max_simulated_packets: int = 3000
 
     @property
     def chiplets(self) -> int:

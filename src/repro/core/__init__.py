@@ -19,6 +19,15 @@ from repro.core.control_unit import (
     MZIMControlUnit,
 )
 from repro.core.offload import Decision, OffloadPolicy
+from repro.core.pipelines import (
+    ConfigPipeline,
+    configuration_names,
+    get_configuration,
+    iter_configurations,
+    register_configuration,
+    temporary_configuration,
+    unregister_configuration,
+)
 from repro.core.scheduler import (
     ActiveComputation,
     FlumenScheduler,
@@ -35,6 +44,7 @@ __all__ = [
     "ActiveComputation",
     "BlockMatmul",
     "CONFIGURATIONS",
+    "ConfigPipeline",
     "ComputeRequest",
     "Decision",
     "FlumenScheduler",
@@ -46,6 +56,12 @@ __all__ = [
     "SystemModel",
     "WorkloadRun",
     "compute_duration_cycles",
+    "configuration_names",
+    "get_configuration",
+    "iter_configurations",
+    "register_configuration",
+    "temporary_configuration",
+    "unregister_configuration",
     "conv2d_as_matmul",
     "conv2d_reference",
     "im2col",

@@ -1,0 +1,115 @@
+"""Registry of system configurations as pluggable pipelines.
+
+A :class:`ConfigPipeline` declares everything :class:`~repro.core.system.
+SystemModel` needs to evaluate a workload under one configuration:
+
+* ``topology`` — which NoP backend carries the memory traffic (a name in
+  :mod:`repro.noc.registry`),
+* ``link_energy`` — which :class:`~repro.noc.energy.NetworkEnergyModel`
+  accounting applies ("electrical", "optbus", or "flumen"),
+* ``compute_path`` — where the MACs run ("core" keeps all compute on the
+  multicore substrate; "mzim" offloads matmul phases to the photonic
+  fabric with the Algorithm 1 scheduler co-simulation).
+
+The five paper configurations (Figure 13's x-axis) register themselves
+below.  Adding a configuration — a new topology, a different energy
+model, another execution mode — is one :func:`register_configuration`
+call; ``SystemModel``, the sweep tasks, the trace runner, and the CLI
+all iterate this registry and need no edits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: Energy accountings NetworkEnergyModel.of() can dispatch to.
+LINK_ENERGY_KINDS = ("electrical", "optbus", "flumen")
+#: Execution modes SystemModel implements.
+COMPUTE_PATHS = ("core", "mzim")
+
+
+@dataclass(frozen=True)
+class ConfigPipeline:
+    """One system configuration: backend + energy model + compute path."""
+
+    name: str
+    topology: str
+    link_energy: str = "electrical"
+    compute_path: str = "core"
+
+    def __post_init__(self) -> None:
+        if self.link_energy not in LINK_ENERGY_KINDS:
+            raise ValueError(
+                f"link_energy must be one of {LINK_ENERGY_KINDS}, "
+                f"got {self.link_energy!r}")
+        if self.compute_path not in COMPUTE_PATHS:
+            raise ValueError(
+                f"compute_path must be one of {COMPUTE_PATHS}, "
+                f"got {self.compute_path!r}")
+
+
+_PIPELINES: dict[str, ConfigPipeline] = {}
+
+
+def register_configuration(pipeline: ConfigPipeline,
+                           *, replace: bool = False) -> ConfigPipeline:
+    """Add one configuration to the registry (error on duplicates)."""
+    if not replace and pipeline.name in _PIPELINES:
+        raise ValueError(f"configuration {pipeline.name!r} is already "
+                         f"registered; pass replace=True to override")
+    _PIPELINES[pipeline.name] = pipeline
+    return pipeline
+
+
+def unregister_configuration(name: str) -> None:
+    """Remove a configuration (primarily for test cleanup)."""
+    _PIPELINES.pop(name, None)
+
+
+def get_configuration(name: str) -> ConfigPipeline:
+    """Look up one configuration, or raise listing what exists."""
+    try:
+        return _PIPELINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown configuration {name!r}; "
+            f"known: {configuration_names()}") from None
+
+
+def configuration_names() -> tuple[str, ...]:
+    """Registered configuration names, in registration order."""
+    return tuple(_PIPELINES)
+
+
+def iter_configurations() -> Iterator[ConfigPipeline]:
+    """Iterate the registered pipelines in registration order."""
+    return iter(tuple(_PIPELINES.values()))
+
+
+@contextmanager
+def temporary_configuration(pipeline: ConfigPipeline) -> Iterator[None]:
+    """Register a configuration for the duration of a ``with`` block."""
+    register_configuration(pipeline)
+    try:
+        yield
+    finally:
+        unregister_configuration(pipeline.name)
+
+
+# -- the five paper configurations (Figures 13-15) ---------------------------
+
+register_configuration(ConfigPipeline(
+    name="ring", topology="ring", link_energy="electrical"))
+register_configuration(ConfigPipeline(
+    name="mesh", topology="mesh", link_energy="electrical"))
+register_configuration(ConfigPipeline(
+    name="optbus", topology="optbus", link_energy="optbus"))
+#: Flumen-I: the MZIM fabric used for interconnect only.
+register_configuration(ConfigPipeline(
+    name="flumen_i", topology="flumen", link_energy="flumen"))
+#: Flumen-A: interconnect plus matmul offload onto the MZIM compute path.
+register_configuration(ConfigPipeline(
+    name="flumen_a", topology="flumen", link_energy="flumen",
+    compute_path="mzim"))

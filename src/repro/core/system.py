@@ -26,12 +26,18 @@ the photonic model (Section 5.3's calibration).
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 
 from repro.config import SystemConfig
 from repro.core.accelerator import OffloadPlan, plan_offload
 from repro.core.control_unit import ComputeRequest, MZIMControlUnit
+from repro.core.pipelines import (
+    ConfigPipeline,
+    configuration_names,
+    get_configuration,
+)
 from repro.core.scheduler import FlumenScheduler, compute_duration_cycles
 from repro.multicore.cache import CacheHierarchy, HierarchyCounts
 from repro.multicore.cpu import CoreModel
@@ -47,12 +53,18 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.workloads.base import MatmulPhase, Workload
 
-CONFIGURATIONS = ("ring", "mesh", "optbus", "flumen_i", "flumen_a")
+log = logging.getLogger("repro.system")
 
 #: Memory-controller endpoints on the 16-node NoP.
 MEMORY_CONTROLLERS = (0, 5, 10, 15)
-#: Cap on simulated packets; heavier traces are subsampled and rescaled.
-MAX_SIMULATED_PACKETS = 3000
+
+
+def __getattr__(name: str):
+    # Legacy alias: the static tuple became the pipeline registry; keep
+    # ``from repro.core.system import CONFIGURATIONS`` working and live.
+    if name == "CONFIGURATIONS":
+        return configuration_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -164,7 +176,13 @@ class SystemModel:
         """
         line_flits = 3  # 64B line + header over a ~32B phit
         total_packets = counts.dram_accesses + extra_packets
-        scale = max(1, math.ceil(total_packets / MAX_SIMULATED_PACKETS))
+        cap = self.system.max_simulated_packets
+        scale = max(1, math.ceil(total_packets / cap))
+        if scale > 1:
+            log.info(
+                "NoP trace subsampled %dx: %d packets -> %d (cap %d); "
+                "energy counters rescaled",
+                scale, total_packets, total_packets // scale, cap)
         packets = total_packets // scale
         window = max(1, spread_cycles // scale)
         events = []
@@ -177,15 +195,15 @@ class SystemModel:
             events.append((cycle, mc, consumer, line_flits))
         return events, scale
 
-    def _simulate_nop(self, topology: str, counts: HierarchyCounts,
-                      core_cycles: float, scheduler_ports: bool = False
+    def _simulate_nop(self, pipeline: ConfigPipeline,
+                      counts: HierarchyCounts, core_cycles: float
                       ) -> tuple[float, EnergyBreakdown, float, object]:
-        """Run the topology's cycle sim on the workload trace.
+        """Run the pipeline's network backend on the workload trace.
 
         Returns (comm_cycles, nop_energy_as_breakdown, avg_latency, net).
         """
         events, scale = self._traffic_events(counts, int(core_cycles))
-        net = make_network(topology, self.nodes, obs=self.obs)
+        net = make_network(pipeline.topology, self.nodes, obs=self.obs)
         trace = TracePlayback(events)
         window = max(1, int(core_cycles) // scale)
         net.run(trace, cycles=window, drain=True, max_drain_cycles=20_000)
@@ -197,7 +215,7 @@ class SystemModel:
                            result.link_traversals * scale)
         object.__setattr__(result, "flit_hops", result.flit_hops * scale)
         object.__setattr__(result, "cycles", int(core_cycles))
-        report = self.net_energy.of(result)
+        report = self.net_energy.of(result, kind=pipeline.link_energy)
         energy = EnergyBreakdown(nop=report.total)
         return comm_cycles, energy, result.latency.average, net
 
@@ -214,16 +232,16 @@ class SystemModel:
     # ------------------------------------------------------------------
 
     def run(self, workload: Workload, configuration: str) -> WorkloadRun:
-        """Evaluate one workload under one configuration."""
-        if configuration not in CONFIGURATIONS:
-            raise ValueError(f"unknown configuration {configuration!r}; "
-                             f"known: {CONFIGURATIONS}")
-        if configuration == "flumen_a":
-            run = self._run_accelerated(workload)
-        else:
-            topology = ("flumen" if configuration == "flumen_i"
-                        else configuration)
-            run = self._run_baseline(workload, configuration, topology)
+        """Evaluate one workload under one registered configuration."""
+        pipeline = get_configuration(configuration)
+        try:
+            runner = self._COMPUTE_PATHS[pipeline.compute_path]
+        except KeyError:
+            raise ValueError(
+                f"configuration {pipeline.name!r} declares compute path "
+                f"{pipeline.compute_path!r}; this model implements "
+                f"{tuple(self._COMPUTE_PATHS)}") from None
+        run = runner(self, workload, pipeline)
         if self.obs.tracer.enabled:
             runtime_cycles = int(round(
                 run.runtime_s * self.system.core.frequency_hz))
@@ -237,10 +255,12 @@ class SystemModel:
         return run
 
     def run_all(self, workload: Workload) -> dict[str, WorkloadRun]:
-        return {cfg: self.run(workload, cfg) for cfg in CONFIGURATIONS}
+        """Evaluate the workload under every registered configuration."""
+        return {cfg: self.run(workload, cfg)
+                for cfg in configuration_names()}
 
-    def _run_baseline(self, workload: Workload, configuration: str,
-                      topology: str) -> WorkloadRun:
+    def _run_baseline(self, workload: Workload,
+                      pipeline: ConfigPipeline) -> WorkloadRun:
         counts, hierarchy = self._cache_counts(workload, offloaded=False)
         macs = workload.total_macs()
         extra = workload.extra_core_ops()
@@ -248,7 +268,7 @@ class SystemModel:
         cost = self.core_model.phase_cost(
             macs, extra, counts, hierarchy, cores)
         comm_cycles, nop_energy, avg_lat, _ = self._simulate_nop(
-            topology, counts, cost.total_cycles)
+            pipeline, counts, cost.total_cycles)
         runtime_cycles = max(cost.total_cycles, comm_cycles)
         runtime_s = self.core_model.seconds(runtime_cycles)
 
@@ -257,12 +277,13 @@ class SystemModel:
             counts=counts, runtime_s=runtime_s, active_cores=cores)
         energy = energy + nop_energy
         return WorkloadRun(
-            workload=workload.name, configuration=configuration,
+            workload=workload.name, configuration=pipeline.name,
             runtime_s=runtime_s, energy=energy,
             core_cycles=cost.total_cycles, comm_cycles=comm_cycles,
             avg_packet_latency=avg_lat)
 
-    def _run_accelerated(self, workload: Workload) -> WorkloadRun:
+    def _run_accelerated(self, workload: Workload,
+                         pipeline: ConfigPipeline) -> WorkloadRun:
         counts, hierarchy = self._cache_counts(workload, offloaded=True)
         phases = workload.phases()
         partition_ports = self.system.mzim_ports  # full-fabric compute
@@ -310,7 +331,8 @@ class SystemModel:
 
         # Scheduler co-simulation for grant latency and comm blocking.
         grant_wait, avg_lat, comm_cycles, nop_energy = \
-            self._scheduler_overhead(counts, max(core_cycles, mzim_cycles),
+            self._scheduler_overhead(pipeline, counts,
+                                     max(core_cycles, mzim_cycles),
                                      phases, partition_ports, mzim_cycles)
         pipeline_cycles = max(mzim_cycles + grant_wait, core_cycles)
         runtime_cycles = max(pipeline_cycles, comm_cycles)
@@ -322,13 +344,14 @@ class SystemModel:
         energy = energy + nop_energy
         energy.mzim += mzim_energy
         return WorkloadRun(
-            workload=workload.name, configuration="flumen_a",
+            workload=workload.name, configuration=pipeline.name,
             runtime_s=runtime_s, energy=energy,
             core_cycles=core_cycles, comm_cycles=comm_cycles,
             mzim_cycles=mzim_cycles, avg_packet_latency=avg_lat,
             offloaded_macs=offloaded)
 
-    def _scheduler_overhead(self, counts: HierarchyCounts,
+    def _scheduler_overhead(self, pipeline: ConfigPipeline,
+                            counts: HierarchyCounts,
                             span_cycles: float, phases: list[MatmulPhase],
                             partition_ports: int, mzim_cycles: float
                             ) -> tuple[float, float, float, EnergyBreakdown]:
@@ -344,8 +367,14 @@ class SystemModel:
         comm completion cycles, NoP energy).
         """
         line_flits = 3
-        scale = max(1, math.ceil(
-            counts.dram_accesses / MAX_SIMULATED_PACKETS))
+        cap = self.system.max_simulated_packets
+        scale = max(1, math.ceil(counts.dram_accesses / cap))
+        if scale > 1:
+            log.info(
+                "scheduler co-sim trace subsampled %dx: %d packets -> %d "
+                "(cap %d); energy counters rescaled",
+                scale, counts.dram_accesses,
+                counts.dram_accesses // scale, cap)
         packets = counts.dram_accesses // scale
         window = max(1, int(span_cycles) // scale)
         # Compute partition on the low fabric ports -> endpoints 0..7
@@ -363,7 +392,7 @@ class SystemModel:
             if consumer == mc:
                 consumer = free[-1]
             events.append((cycle, mc, consumer, line_flits))
-        net = make_network("flumen", self.nodes, obs=self.obs)
+        net = make_network(pipeline.topology, self.nodes, obs=self.obs)
         control = MZIMControlUnit(net, self.system, obs=self.obs)
         fabric = None
         if self.obs.tracer.enabled:
@@ -410,7 +439,7 @@ class SystemModel:
         object.__setattr__(result, "flit_hops", result.flit_hops * scale)
         object.__setattr__(result, "cycles", int(span_cycles))
         nop_energy = EnergyBreakdown(
-            nop=self.net_energy.of(result).total)
+            nop=self.net_energy.of(result, kind=pipeline.link_energy).total)
         return (scheduler.stats.average_wait, result.latency.average,
                 comm_cycles, nop_energy)
 
@@ -435,6 +464,9 @@ class SystemModel:
         l3 = counts.l3.accesses * em.l3_energy_j
         dram = counts.dram_accesses * em.dram_energy_j
         return EnergyBreakdown(core=core, l1=l1, l2=l2, l3=l3, dram=dram)
+
+    #: Execution modes a pipeline's ``compute_path`` may select.
+    _COMPUTE_PATHS = {"core": _run_baseline, "mzim": _run_accelerated}
 
 
 def _apply_sparsity(plan: OffloadPlan, phase: MatmulPhase,

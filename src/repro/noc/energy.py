@@ -113,12 +113,27 @@ class NetworkEnergyModel:
         return EnergyReport(dynamic=dynamic, laser_static=laser,
                             converter_static=converters)
 
-    def of(self, result: SimulationResult) -> EnergyReport:
-        """Dispatch on the result's topology name."""
-        if result.topology in ("ring", "mesh"):
+    def of(self, result: SimulationResult,
+           kind: str | None = None) -> EnergyReport:
+        """Map one run to joules.
+
+        ``kind`` selects the accounting ("electrical", "optbus", or
+        "flumen") — configuration pipelines pass it explicitly so plugged
+        -in topologies work without edits here.  Without ``kind`` the
+        dispatch falls back to the result's topology name (the built-in
+        set only).
+        """
+        if kind is None:
+            if result.topology in ("ring", "mesh"):
+                kind = "electrical"
+            elif result.topology in ("optbus", "flumen"):
+                kind = result.topology
+            else:
+                raise ValueError(f"unknown topology {result.topology!r}")
+        if kind == "electrical":
             return self.electrical(result)
-        if result.topology == "optbus":
+        if kind == "optbus":
             return self.optbus(result)
-        if result.topology == "flumen":
+        if kind == "flumen":
             return self.flumen(result)
-        raise ValueError(f"unknown topology {result.topology!r}")
+        raise ValueError(f"unknown energy accounting {kind!r}")

@@ -14,6 +14,10 @@ Ports can be *blocked* to model compute partitions: the scheduler
 (:mod:`repro.core.scheduler`) reserves a contiguous port range, and traffic
 to or from those ports waits until the partition is released — the
 communication-blocking overhead quantified in Section 5.4.2.
+
+Injection, the run/drain loop, latency sampling, and result assembly come
+from :class:`~repro.noc.kernel.SimKernel`; this module is the crossbar
+arbitration and circuit lifecycle only.
 """
 
 from __future__ import annotations
@@ -24,8 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.noc.arbiter import WavefrontArbiter
+from repro.noc.kernel import SimKernel
 from repro.noc.packet import Packet
-from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
 from repro.obs import NULL_OBS, Obs
 
 #: 1 ns phase programming at a 2.5 GHz network clock (Section 4.1).
@@ -40,7 +44,7 @@ class _Circuit:
     grant_cycle: int = 0
 
 
-class FlumenNetwork:
+class FlumenNetwork(SimKernel):
     """MZIM crossbar with wavefront arbitration and port blocking."""
 
     name = "flumen"
@@ -59,6 +63,9 @@ class FlumenNetwork:
             raise ValueError(
                 f"arbitration must be 'wavefront' or 'sequential', "
                 f"got {arbitration!r}")
+        super().__init__(name=self.name, num_links=nodes,
+                         utilization_interval=utilization_interval,
+                         obs=obs)
         self.nodes = nodes
         self.reconfig_cycles = reconfig_cycles
         self.propagation_delay = propagation_delay
@@ -79,35 +86,14 @@ class FlumenNetwork:
         self._pending: dict[int, _Circuit] = {}
         self._busy_outputs: set[int] = set()
         self.blocked_ports: set[int] = set()
-        self.cycle = 0
-        self.latency = LatencyStats()
-        self.utilization = UtilizationTracker(
-            num_links=nodes, interval_cycles=utilization_interval)
-        self.injected_packets = 0
-        self.flit_hops = 0
-        self.link_traversals = 0
         self.reconfigurations = 0
         self.arbiter_conflicts = 0
-        self.obs = obs
-        self._tracer = obs.tracer
-        self._m_injected = obs.metrics.counter(
-            "noc.packets_injected", topology=self.name)
-        self._m_delivered = obs.metrics.counter(
-            "noc.packets_delivered", topology=self.name)
         self._m_reconfig = obs.metrics.counter(
             "noc.reconfigurations", topology=self.name)
         self._m_conflicts = obs.metrics.counter(
             "noc.arbiter_conflicts", topology=self.name)
         self._m_overflow = obs.metrics.counter(
             "noc.buffer_overflows", topology=self.name)
-        if self._tracer.enabled:
-            tracer = self._tracer
-            interval = utilization_interval
-
-            def _flush(index: int, fraction: float) -> None:
-                tracer.counter("noc", "links", "link_busy_fraction",
-                               (index + 1) * interval, busy=fraction)
-            self.utilization.on_flush = _flush
 
     # -- scheduler hooks ---------------------------------------------------
 
@@ -157,15 +143,13 @@ class FlumenNetwork:
 
     # -- traffic -----------------------------------------------------------
 
-    def offer_packet(self, packet: Packet) -> None:
+    def _enqueue(self, packet: Packet) -> None:
         if len(self.request_buffers[packet.src]) \
                 < self.request_buffer_capacity:
             self.request_buffers[packet.src].append(packet)
         else:
             self._overflow[packet.src].append(packet)
             self._m_overflow.inc()
-        self.injected_packets += 1
-        self._m_injected.inc()
 
     def _refill_buffers(self) -> None:
         for port in range(self.nodes):
@@ -187,13 +171,25 @@ class FlumenNetwork:
                 and circuit.remaining_flits <= self.reconfig_cycles)
 
     def step(self) -> None:
+        busy = self._advance_circuits()
+        self._grant_multicasts()
+        requests = self._unicast_requests()
+        self._grant_unicasts(requests)
+        self._refill_buffers()
+        self.utilization.record_cycle(busy)
+        if self._tracer.enabled and self.cycle \
+                and self.cycle % self.utilization.interval_cycles == 0:
+            self._tracer.counter("noc", "arbiter", "arbiter_conflicts",
+                                 self.cycle, total=self.arbiter_conflicts)
+        self.cycle += 1
+
+    def _advance_circuits(self) -> int:
+        """Progress setups and active transfers; returns busy-link count."""
         busy = 0
-        # 1. Overlapped setups progress regardless of the active circuit.
+        # Overlapped setups progress regardless of the active circuit.
         for circuit in self._pending.values():
             if circuit.setup_left > 0:
                 circuit.setup_left -= 1
-
-        # 2. Advance active circuits.
         finished: list[int] = []
         for src, circuit in self._circuits.items():
             if circuit.setup_left > 0:
@@ -205,17 +201,9 @@ class FlumenNetwork:
             self.link_traversals += 1
             if circuit.remaining_flits == 0:
                 delivered = self.cycle + self.propagation_delay
-                self.latency.record(circuit.packet.create_cycle,
-                                    delivered, circuit.packet.size_flits)
-                self._m_delivered.inc()
-                if self._tracer.enabled:
-                    self._tracer.complete(
-                        "noc", f"port{src}", "packet",
-                        circuit.packet.create_cycle, delivered,
-                        src=src, dst=circuit.packet.dst,
-                        flits=circuit.packet.size_flits,
-                        grant_wait=(circuit.grant_cycle
-                                    - circuit.packet.create_cycle))
+                self._deliver(circuit.packet, delivered, f"port{src}",
+                              grant_wait=(circuit.grant_cycle
+                                          - circuit.packet.create_cycle))
                 finished.append(src)
         for src in finished:
             for dst in self._circuits[src].packet.destinations:
@@ -225,10 +213,14 @@ class FlumenNetwork:
             if nxt is not None:
                 self._circuits[src] = nxt
                 self._busy_outputs.add(nxt.packet.dst)
+        return busy
 
-        # 3a. Physical multicast grants (splitting states, Section 3.2):
-        # a multicast head needs its source idle and every destination
-        # output free; it is granted outside the unicast matching.
+    def _grant_multicasts(self) -> None:
+        """Physical multicast grants (splitting states, Section 3.2).
+
+        A multicast head needs its source idle and every destination
+        output free; it is granted outside the unicast matching.
+        """
         for src, buf in enumerate(self.request_buffers):
             if not buf or not buf[0].multicast_dsts:
                 continue
@@ -248,7 +240,8 @@ class FlumenNetwork:
             self.reconfigurations += 1
             self._m_reconfig.inc()
 
-        # 3b. Build the unicast request matrix from head-of-buffer packets.
+    def _unicast_requests(self) -> np.ndarray:
+        """The unicast request matrix from head-of-buffer packets."""
         requests = np.zeros((self.nodes, self.nodes), dtype=bool)
         for src, buf in enumerate(self.request_buffers):
             if not buf or buf[0].multicast_dsts \
@@ -264,8 +257,10 @@ class FlumenNetwork:
             if any(p.packet.dst == dst for p in self._pending.values()):
                 continue
             requests[src, dst] = True
+        return requests
 
-        # 4. Allocation; winners set up circuits.
+    def _grant_unicasts(self, requests: np.ndarray) -> None:
+        """Allocate the request matrix; winners set up circuits."""
         if self.arbitration == "wavefront":
             grants = self._arbiter.allocate(requests)
         else:  # sequential: one grant per cycle, rotating priority
@@ -301,14 +296,6 @@ class FlumenNetwork:
                 self._circuits[src] = circuit
                 self._busy_outputs.add(dst)
 
-        self._refill_buffers()
-        self.utilization.record_cycle(busy)
-        if self._tracer.enabled and self.cycle \
-                and self.cycle % self.utilization.interval_cycles == 0:
-            self._tracer.counter("noc", "arbiter", "arbiter_conflicts",
-                                 self.cycle, total=self.arbiter_conflicts)
-        self.cycle += 1
-
     def quiescent(self) -> bool:
         return (not self._circuits and not self._pending
                 and all(not b for b in self.request_buffers)
@@ -321,31 +308,3 @@ class FlumenNetwork:
         queued += sum(c.remaining_flits for c in self._circuits.values())
         queued += sum(c.remaining_flits for c in self._pending.values())
         return queued
-
-    def run(self, traffic, cycles: int, warmup: int = 0,
-            drain: bool = False, max_drain_cycles: int = 50_000) -> None:
-        self.latency.warmup_cycles = warmup
-        for _ in range(cycles):
-            for packet in traffic.packets_for_cycle(self.cycle):
-                self.offer_packet(packet)
-            self.step()
-        if drain:
-            budget = max_drain_cycles
-            while not self.quiescent() and budget > 0:
-                self.step()
-                budget -= 1
-        self.utilization.finish()
-
-    def result(self, pattern: str, load: float,
-               saturation_latency: float = 500.0) -> SimulationResult:
-        avg = self.latency.average
-        saturated = (avg == 0.0 and self.injected_packets > 0) \
-            or avg >= saturation_latency
-        return SimulationResult(
-            topology=self.name, pattern=pattern, load=load,
-            cycles=self.cycle, latency=self.latency,
-            utilization=self.utilization,
-            injected_packets=self.injected_packets,
-            flit_hops=self.flit_hops,
-            link_traversals=self.link_traversals,
-            saturated=saturated)

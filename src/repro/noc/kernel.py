@@ -1,0 +1,155 @@
+"""Shared simulation kernel for every NoP network backend.
+
+The three cycle simulators (electrical wormhole :class:`Network`, the
+shared optical bus, and the Flumen MZIM crossbar) all drive the same
+machinery: packets are offered into per-backend queues, flits are
+ejected and sampled into :class:`~repro.noc.stats.LatencyStats`, the
+``run()`` loop interleaves traffic injection with ``step()`` and an
+optional quiescence drain, link utilization flushes per interval into
+the tracer, and ``result()`` packages the counters.  That machinery
+lives here, once; a backend subclass carries only its routing and
+arbitration logic:
+
+* ``_enqueue(packet)`` — admit one packet into backend buffering,
+* ``step()`` — advance the backend one cycle,
+* ``quiescent()`` / ``total_queued_flits()`` — drain bookkeeping.
+
+Backends register themselves with :mod:`repro.noc.registry`, so adding
+a topology is one module: subclass :class:`SimKernel`, implement the
+four hooks, register a factory.
+"""
+
+from __future__ import annotations
+
+from repro.noc.packet import Packet
+from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
+from repro.obs import NULL_OBS, Obs
+
+
+class SimKernel:
+    """Common offer/run/drain/measure machinery for a NoP backend.
+
+    Subclasses set ``name`` (used for metric labels, energy dispatch,
+    and :meth:`result`), implement the four backend hooks, and account
+    traffic into ``flit_hops`` / ``link_traversals`` from ``step()``.
+    """
+
+    #: Backend name; subclasses override (or pass ``name`` to init).
+    name = "kernel"
+
+    def __init__(self, name: str, num_links: int,
+                 utilization_interval: int = 100,
+                 obs: Obs = NULL_OBS) -> None:
+        self.name = name
+        self.cycle = 0
+        self.latency = LatencyStats()
+        self.utilization = UtilizationTracker(
+            num_links=max(num_links, 1),
+            interval_cycles=utilization_interval)
+        self.injected_packets = 0
+        self.flit_hops = 0
+        self.link_traversals = 0
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._m_injected = obs.metrics.counter(
+            "noc.packets_injected", topology=name)
+        self._m_delivered = obs.metrics.counter(
+            "noc.packets_delivered", topology=name)
+        if self._tracer.enabled:
+            tracer = self._tracer
+            interval = utilization_interval
+
+            def _flush_to_trace(index: int, fraction: float) -> None:
+                tracer.counter("noc", "links", "link_busy_fraction",
+                               (index + 1) * interval, busy=fraction)
+            self.utilization.on_flush = _flush_to_trace
+
+    # -- backend hooks ---------------------------------------------------
+
+    def _enqueue(self, packet: Packet) -> None:
+        """Admit one offered packet into the backend's buffering."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance the network one cycle."""
+        raise NotImplementedError
+
+    def quiescent(self) -> bool:
+        """True when no flit remains anywhere in the network."""
+        raise NotImplementedError
+
+    def total_queued_flits(self) -> int:
+        """Flits resident in any queue, buffer, or in-flight structure."""
+        raise NotImplementedError
+
+    # -- traffic ---------------------------------------------------------
+
+    def offer_packet(self, packet: Packet) -> None:
+        """Queue a packet at its source and account the injection."""
+        self._enqueue(packet)
+        self.injected_packets += 1
+        self._m_injected.inc()
+
+    # -- measurement -----------------------------------------------------
+
+    def _deliver(self, packet: Packet, delivered_cycle: int,
+                 track: str, **trace_args: object) -> None:
+        """Sample one completed packet: latency, metrics, lifecycle span."""
+        self.latency.record(packet.create_cycle, delivered_cycle,
+                            packet.size_flits)
+        self._m_delivered.inc()
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "noc", track, "packet",
+                packet.create_cycle, delivered_cycle,
+                src=packet.src, dst=packet.dst,
+                flits=packet.size_flits, **trace_args)
+
+    # -- simulation loop -------------------------------------------------
+
+    def run(self, traffic, cycles: int, warmup: int = 0,
+            drain: bool = False, max_drain_cycles: int = 50_000) -> None:
+        """Drive the network with a traffic source for ``cycles`` cycles.
+
+        ``traffic`` provides ``packets_for_cycle(cycle)``.  With ``drain``
+        the simulation continues (without new injection) until every
+        in-flight packet is delivered or the drain budget runs out.
+        """
+        self.latency.warmup_cycles = warmup
+        self._begin_run()
+        for _ in range(cycles):
+            for packet in traffic.packets_for_cycle(self.cycle):
+                self.offer_packet(packet)
+            self.step()
+        if drain:
+            budget = max_drain_cycles
+            while not self.quiescent() and budget > 0:
+                self.step()
+                budget -= 1
+        self.utilization.finish()
+        self._end_run()
+
+    def _begin_run(self) -> None:
+        """Hook fired as :meth:`run` starts (before any injection)."""
+
+    def _end_run(self) -> None:
+        """Hook fired as :meth:`run` finishes (after the final flush)."""
+
+    def result(self, pattern: str, load: float,
+               saturation_latency: float = 500.0) -> SimulationResult:
+        """Package measurement into a :class:`SimulationResult`."""
+        avg = self.latency.average
+        saturated = (avg == 0.0 and self.injected_packets > 0) \
+            or avg >= saturation_latency
+        return SimulationResult(
+            topology=self.name,
+            pattern=pattern,
+            load=load,
+            cycles=self.cycle,
+            latency=self.latency,
+            utilization=self.utilization,
+            injected_packets=self.injected_packets,
+            flit_hops=self.flit_hops,
+            link_traversals=self.link_traversals,
+            saturated=saturated,
+        )

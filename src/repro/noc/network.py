@@ -5,15 +5,19 @@ Ties together :class:`~repro.noc.router.Router`, a
 One call to :meth:`Network.step` advances the whole network one cycle:
 flits arrive from links, routers run their RC/VA/SA pipeline stages, winning
 flits traverse the switch, and credits flow back upstream.
+
+Injection, the run/drain loop, latency sampling, and result assembly come
+from :class:`~repro.noc.kernel.SimKernel`; this module is the routed
+wormhole datapath only.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
+from repro.noc.kernel import SimKernel
 from repro.noc.packet import Flit, Packet
 from repro.noc.router import Router
-from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
 from repro.noc.topology import LOCAL_PORT, Topology
 from repro.obs import NULL_OBS, Obs
 
@@ -21,13 +25,17 @@ from repro.obs import NULL_OBS, Obs
 _EJECT_CREDITS = 10 ** 9
 
 
-class Network:
+class Network(SimKernel):
     """A wormhole network over an arbitrary router topology."""
 
     def __init__(self, topology: Topology, num_vcs: int = 2,
                  buffer_depth: int = 8, utilization_interval: int = 100,
                  router_pipeline_cycles: int = 2,
                  obs: Obs = NULL_OBS) -> None:
+        super().__init__(name=topology.name,
+                         num_links=topology.num_links(),
+                         utilization_interval=utilization_interval,
+                         obs=obs)
         self.topology = topology
         self.num_vcs = num_vcs
         self.buffer_depth = buffer_depth
@@ -47,47 +55,24 @@ class Network:
                 nxt = topology.link(r, p)
                 if nxt is not None:
                     self._upstream[nxt] = (r, p)
-        self.cycle = 0
         self.source_queues: list[deque[Flit]] = [
             deque() for _ in range(topology.nodes)]
         #: Flits on links: [cycles until arrival, router, in_port, flit].
         self._in_flight: list[list] = []
-        self.latency = LatencyStats()
-        self.utilization = UtilizationTracker(
-            num_links=max(topology.num_links(), 1),
-            interval_cycles=utilization_interval)
-        self.injected_packets = 0
-        self.flit_hops = 0
-        self.link_traversals = 0
         self.ejected_flits = 0
-        self.obs = obs
-        self._tracer = obs.tracer
-        self._m_injected = obs.metrics.counter(
-            "noc.packets_injected", topology=topology.name)
-        self._m_delivered = obs.metrics.counter(
-            "noc.packets_delivered", topology=topology.name)
         self._m_hops = obs.metrics.counter(
             "noc.flit_hops", topology=topology.name)
-        if self._tracer.enabled:
-            tracer = self._tracer
-            interval = utilization_interval
-
-            def _flush(index: int, fraction: float) -> None:
-                tracer.counter("noc", "links", "link_busy_fraction",
-                               (index + 1) * interval, busy=fraction)
-            self.utilization.on_flush = _flush
+        self._run_hops_base = 0
 
     # -- traffic ---------------------------------------------------------
 
-    def offer_packet(self, packet: Packet) -> None:
-        """Queue a packet at its source node."""
+    def _enqueue(self, packet: Packet) -> None:
+        """Queue a packet's flits at its source node."""
         flits = packet.flits()
         vc = self.topology.vc_class(packet.src, packet.dst) % self.num_vcs
         for flit in flits:
             flit.vc = vc
         self.source_queues[packet.src].extend(flits)
-        self.injected_packets += 1
-        self._m_injected.inc()
 
     def _inject(self) -> None:
         """Move at most one flit per node from source queue into the router."""
@@ -166,38 +151,14 @@ class Network:
     def _eject(self, flit: Flit) -> None:
         self.ejected_flits += 1
         if flit.is_tail:
-            self.latency.record(flit.packet.create_cycle, self.cycle,
-                                flit.packet.size_flits)
-            self._m_delivered.inc()
-            if self._tracer.enabled:
-                packet = flit.packet
-                self._tracer.complete(
-                    "noc", f"node{packet.src}", "packet",
-                    packet.create_cycle, self.cycle,
-                    src=packet.src, dst=packet.dst,
-                    flits=packet.size_flits)
+            packet = flit.packet
+            self._deliver(packet, self.cycle, f"node{packet.src}")
 
-    def run(self, traffic, cycles: int, warmup: int = 0,
-            drain: bool = False, max_drain_cycles: int = 50_000) -> None:
-        """Drive the network with a traffic source for ``cycles`` cycles.
+    def _begin_run(self) -> None:
+        self._run_hops_base = self.flit_hops
 
-        ``traffic`` provides ``packets_for_cycle(cycle)``.  With ``drain``
-        the simulation continues (without new injection) until every
-        in-flight packet is delivered or the drain budget runs out.
-        """
-        self.latency.warmup_cycles = warmup
-        hops_before = self.flit_hops
-        for _ in range(cycles):
-            for packet in traffic.packets_for_cycle(self.cycle):
-                self.offer_packet(packet)
-            self.step()
-        if drain:
-            budget = max_drain_cycles
-            while not self.quiescent() and budget > 0:
-                self.step()
-                budget -= 1
-        self.utilization.finish()
-        self._m_hops.inc(self.flit_hops - hops_before)
+    def _end_run(self) -> None:
+        self._m_hops.inc(self.flit_hops - self._run_hops_base)
 
     def quiescent(self) -> bool:
         """True when no flit remains anywhere in the network."""
@@ -209,22 +170,3 @@ class Network:
         return (sum(len(q) for q in self.source_queues)
                 + sum(r.occupancy() for r in self.routers)
                 + len(self._in_flight))
-
-    def result(self, pattern: str, load: float,
-               saturation_latency: float = 500.0) -> SimulationResult:
-        """Package measurement into a :class:`SimulationResult`."""
-        avg = self.latency.average
-        saturated = (avg == 0.0 and self.injected_packets > 0) \
-            or avg >= saturation_latency
-        return SimulationResult(
-            topology=self.topology.name,
-            pattern=pattern,
-            load=load,
-            cycles=self.cycle,
-            latency=self.latency,
-            utilization=self.utilization,
-            injected_packets=self.injected_packets,
-            flit_hops=self.flit_hops,
-            link_traversals=self.link_traversals,
-            saturated=saturated,
-        )

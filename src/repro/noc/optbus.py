@@ -9,6 +9,10 @@ under adversarial patterns (Section 5.2).
 The model is packet-granular: a granted writer holds its destination bus
 for ``size_flits`` cycles (one flit per cycle at the wavelength-parallel
 channel width), after a fixed token/arbitration delay.
+
+Injection, the run/drain loop, latency sampling, and result assembly come
+from :class:`~repro.noc.kernel.SimKernel`; this module is the token
+arbitration and bus-circuit logic only.
 """
 
 from __future__ import annotations
@@ -17,8 +21,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.kernel import SimKernel
 from repro.noc.packet import Packet
-from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
 from repro.obs import NULL_OBS, Obs
 
 
@@ -28,7 +32,7 @@ class _BusCircuit:
     remaining_flits: int
 
 
-class OptBusNetwork:
+class OptBusNetwork(SimKernel):
     """MWSR optical bus network with token arbitration."""
 
     name = "optbus"
@@ -39,6 +43,9 @@ class OptBusNetwork:
                  obs: Obs = NULL_OBS) -> None:
         if nodes < 2:
             raise ValueError("need at least two nodes")
+        super().__init__(name=self.name, num_links=nodes,
+                         utilization_interval=utilization_interval,
+                         obs=obs)
         self.nodes = nodes
         #: Cycles for the token grant to reach a requester (optical token
         #: round trip across the package).
@@ -53,32 +60,9 @@ class OptBusNetwork:
         self._active: list[_BusCircuit | None] = [None] * nodes
         #: Cycles of setup delay left before an active circuit transmits.
         self._setup_left = [0] * nodes
-        self.cycle = 0
-        self.latency = LatencyStats()
-        self.utilization = UtilizationTracker(
-            num_links=nodes, interval_cycles=utilization_interval)
-        self.injected_packets = 0
-        self.flit_hops = 0
-        self.link_traversals = 0
-        self.obs = obs
-        self._tracer = obs.tracer
-        self._m_injected = obs.metrics.counter(
-            "noc.packets_injected", topology=self.name)
-        self._m_delivered = obs.metrics.counter(
-            "noc.packets_delivered", topology=self.name)
-        if self._tracer.enabled:
-            tracer = self._tracer
-            interval = utilization_interval
 
-            def _flush(index: int, fraction: float) -> None:
-                tracer.counter("noc", "links", "link_busy_fraction",
-                               (index + 1) * interval, busy=fraction)
-            self.utilization.on_flush = _flush
-
-    def offer_packet(self, packet: Packet) -> None:
+    def _enqueue(self, packet: Packet) -> None:
         self.source_queues[packet.src].append(packet)
-        self.injected_packets += 1
-        self._m_injected.inc()
 
     def step(self) -> None:
         busy = 0
@@ -96,15 +80,7 @@ class OptBusNetwork:
             self.link_traversals += 1
             if circuit.remaining_flits == 0:
                 delivered = self.cycle + self.propagation_delay
-                self.latency.record(circuit.packet.create_cycle,
-                                    delivered, circuit.packet.size_flits)
-                self._m_delivered.inc()
-                if self._tracer.enabled:
-                    self._tracer.complete(
-                        "noc", f"bus{bus}", "packet",
-                        circuit.packet.create_cycle, delivered,
-                        src=circuit.packet.src, dst=circuit.packet.dst,
-                        flits=circuit.packet.size_flits)
+                self._deliver(circuit.packet, delivered, f"bus{bus}")
                 self._active[bus] = None
         # 2. Arbitrate free buses among heads of source queues.
         requests_per_bus: dict[int, list[bool]] = {}
@@ -134,31 +110,3 @@ class OptBusNetwork:
         queued = sum(p.size_flits for q in self.source_queues for p in q)
         active = sum(c.remaining_flits for c in self._active if c)
         return queued + active
-
-    def run(self, traffic, cycles: int, warmup: int = 0,
-            drain: bool = False, max_drain_cycles: int = 50_000) -> None:
-        self.latency.warmup_cycles = warmup
-        for _ in range(cycles):
-            for packet in traffic.packets_for_cycle(self.cycle):
-                self.offer_packet(packet)
-            self.step()
-        if drain:
-            budget = max_drain_cycles
-            while not self.quiescent() and budget > 0:
-                self.step()
-                budget -= 1
-        self.utilization.finish()
-
-    def result(self, pattern: str, load: float,
-               saturation_latency: float = 500.0) -> SimulationResult:
-        avg = self.latency.average
-        saturated = (avg == 0.0 and self.injected_packets > 0) \
-            or avg >= saturation_latency
-        return SimulationResult(
-            topology=self.name, pattern=pattern, load=load,
-            cycles=self.cycle, latency=self.latency,
-            utilization=self.utilization,
-            injected_packets=self.injected_packets,
-            flit_hops=self.flit_hops,
-            link_traversals=self.link_traversals,
-            saturated=saturated)

@@ -1,0 +1,97 @@
+"""Registry of NoP network backends.
+
+Maps a topology name to a factory ``(nodes, **kwargs) -> SimKernel``.
+:func:`~repro.noc.simulation.make_network`, the system-model pipelines,
+and the property-test suite all resolve backends here, so adding a
+topology is one :func:`register_backend` call — no edits to the factory
+if-chain, the system model, or the sweeps.
+
+The four paper topologies register themselves below with lazy imports
+(the factories import their backend module on first use), keeping this
+module import-cycle-free and cheap to load.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+
+#: name -> factory(nodes, **kwargs) -> network backend.
+_BACKENDS: dict[str, Callable] = {}
+
+
+def register_backend(name: str, factory: Callable | None = None,
+                     *, replace: bool = False):
+    """Register a network backend factory under ``name``.
+
+    Usable directly (``register_backend("ring", make_ring)``) or as a
+    decorator (``@register_backend("ring")``).  Re-registering an
+    existing name raises unless ``replace=True``.
+    """
+    def _register(fn: Callable) -> Callable:
+        if not replace and name in _BACKENDS:
+            raise ValueError(f"backend {name!r} is already registered; "
+                             f"pass replace=True to override")
+        _BACKENDS[name] = fn
+        return fn
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (primarily for test cleanup)."""
+    _BACKENDS.pop(name, None)
+
+
+def backend_factory(name: str) -> Callable:
+    """Look up one backend factory, or raise listing what exists."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; "
+            f"known: {registered_topologies()}") from None
+
+
+def registered_topologies() -> tuple[str, ...]:
+    """Names of every registered backend, in registration order."""
+    return tuple(_BACKENDS)
+
+
+@contextmanager
+def temporary_backend(name: str, factory: Callable) -> Iterator[None]:
+    """Register a backend for the duration of a ``with`` block."""
+    register_backend(name, factory)
+    try:
+        yield
+    finally:
+        unregister_backend(name)
+
+
+# -- the paper's four topologies (Figure 10) ---------------------------------
+
+@register_backend("ring")
+def _make_ring(nodes: int = 16, **kwargs):
+    from repro.noc.network import Network
+    from repro.noc.topology import make_topology
+    return Network(make_topology("ring", nodes), **kwargs)
+
+
+@register_backend("mesh")
+def _make_mesh(nodes: int = 16, **kwargs):
+    from repro.noc.network import Network
+    from repro.noc.topology import make_topology
+    return Network(make_topology("mesh", nodes), **kwargs)
+
+
+@register_backend("optbus")
+def _make_optbus(nodes: int = 16, **kwargs):
+    from repro.noc.optbus import OptBusNetwork
+    return OptBusNetwork(nodes, **kwargs)
+
+
+@register_backend("flumen")
+def _make_flumen(nodes: int = 16, **kwargs):
+    from repro.noc.flumen_net import FlumenNetwork
+    return FlumenNetwork(nodes, **kwargs)

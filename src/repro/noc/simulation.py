@@ -9,25 +9,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.noc.flumen_net import FlumenNetwork
-from repro.noc.network import Network
-from repro.noc.optbus import OptBusNetwork
+from repro.noc.registry import backend_factory
 from repro.noc.stats import SimulationResult
-from repro.noc.topology import make_topology
 from repro.noc.traffic import TrafficGenerator
 
+#: The paper's built-in topologies (Figure 10).  The authoritative set is
+#: the backend registry — use :func:`registered_topologies` for anything
+#: that must see plugged-in backends too.
 TOPOLOGIES = ("ring", "mesh", "optbus", "flumen")
 
 
 def make_network(name: str, nodes: int = 16, **kwargs):
-    """Build a ready-to-run network of any evaluated topology."""
-    if name in ("ring", "mesh"):
-        return Network(make_topology(name, nodes), **kwargs)
-    if name == "optbus":
-        return OptBusNetwork(nodes, **kwargs)
-    if name == "flumen":
-        return FlumenNetwork(nodes, **kwargs)
-    raise ValueError(f"unknown topology {name!r}; known: {TOPOLOGIES}")
+    """Build a ready-to-run network of any registered topology.
+
+    Resolution goes through :mod:`repro.noc.registry`; an unknown name
+    raises a :class:`ValueError` listing the currently-registered set.
+    """
+    return backend_factory(name)(nodes, **kwargs)
 
 
 @dataclass(frozen=True)
