@@ -18,6 +18,11 @@ Commands
 ``trace``
     One fully-instrumented run exported as Chrome trace-event JSON
     (Perfetto-loadable) plus a JSONL metrics snapshot.
+``faults``
+    Fault-injection campaigns (DESIGN.md §12): seeded faults injected
+    mid-run, detected by the health monitor, recovered via the
+    degradation ladder; reports ENOB loss, runtime/energy overhead and
+    recovery statistics per fault class, with JSON/CSV artifacts.
 
 Deliverable output (tables, telemetry, artifact paths) goes to stdout
 via :func:`repro.analysis.report.emit`; diagnostics go to stderr through
@@ -258,6 +263,81 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.engine import PointSpec, ResultCache, SweepEngine
+    from repro.analysis.export import to_csv
+    from repro.analysis.report import format_table
+    from repro.faults.campaign import campaign_fault_kinds, csv_records
+
+    if args.jobs < 1:
+        log.error("--jobs must be >= 1, got %d", args.jobs)
+        return 2
+    known = campaign_fault_kinds()
+    faults = list(dict.fromkeys(args.fault or known))
+    for kind in faults:
+        if kind not in known:
+            log.error("unknown fault kind %r; choose from %s",
+                      kind, list(known))
+            return 2
+
+    points = []
+    for kind in faults:
+        # The zero-fault control ignores magnitude; run it once.
+        magnitudes = [1.0] if kind == "none" else \
+            list(dict.fromkeys(args.magnitudes))
+        for magnitude in magnitudes:
+            params = {"fault": kind, "magnitude": float(magnitude),
+                      "runs": args.runs, "cycles": args.cycles,
+                      "golden_reference": not args.no_golden}
+            points.append(PointSpec(key=f"{kind}/m{magnitude:g}",
+                                    params=params))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    engine = SweepEngine(jobs=args.jobs, cache=cache)
+    run = engine.run("fault_point", points, base_seed=args.seed)
+
+    rows = []
+    for result in run.ok_results():
+        spec, agg = result.metrics["spec"], result.metrics["aggregate"]
+        rungs = ",".join(f"{k}:{v}" for k, v in
+                         sorted(agg["final_rungs"].items()))
+        detect = agg["mean_detection_latency"]
+        rows.append([
+            spec["fault"], f"{spec['magnitude']:g}",
+            f"{agg['recovery_rate'] * 100:.0f}%",
+            "-" if detect is None else f"{detect:.0f}",
+            f"{agg['mean_enob_loss_bits']:.2f}",
+            f"{agg['mean_runtime_overhead_fraction'] * 100:.1f}%",
+            f"{agg['mean_energy_overhead_j'] * 1e9:.2f}",
+            rungs])
+    emit(format_table(
+        ["fault", "mag", "recovered", "detect (cyc)", "ENOB loss",
+         "runtime ovh", "energy (nJ)", "final rungs"],
+        rows, title=f"Fault campaigns (runs={args.runs}, "
+                    f"cycles={args.cycles}, seed={args.seed})"))
+    for failure in run.failed_results():
+        log.error("FAILED %s: %s", failure.key, failure.error)
+    golden = [r for r in run.ok_results()
+              if "golden_reference" in r.metrics]
+    if golden:
+        emit("zero-fault control carries the golden-numbers "
+             "cross-check (see 'golden_reference' in the artifact)")
+    emit(f"telemetry: {run.telemetry.summary()}")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(run.records(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        emit(f"wrote {len(run.results)} campaign records to {args.out}")
+    if args.csv:
+        campaigns = [r.metrics for r in run.ok_results()]
+        with open(args.csv, "w") as handle:
+            handle.write(to_csv(csv_records(campaigns)))
+        emit(f"wrote per-run CSV to {args.csv}")
+    return 1 if run.failed_results() else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -329,6 +409,38 @@ def main(argv: list[str] | None = None) -> int:
                      help="schema-check the emitted trace; nonzero exit "
                           "on problems or missing layers")
 
+    flt = sub.add_parser(
+        "faults", help="fault-injection campaigns with graceful "
+                       "degradation (DESIGN.md §12)")
+    flt.add_argument("--fault", nargs="+", metavar="KIND",
+                     help="fault kinds to campaign (default: every "
+                          "registered kind plus the 'none' control)")
+    flt.add_argument("--magnitudes", nargs="+", type=float, default=[1.0],
+                     metavar="M", help="fault severity multipliers "
+                                       "(default: 1.0)")
+    flt.add_argument("--runs", type=int, default=3,
+                     help="seeded runs per (fault, magnitude) point "
+                          "(default: 3)")
+    flt.add_argument("--cycles", type=int, default=1200,
+                     help="simulated cycles per run (default: 1200)")
+    flt.add_argument("--seed", type=int, default=0,
+                     help="base seed; same seed -> byte-identical "
+                          "artifacts")
+    flt.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (default: 1)")
+    flt.add_argument("--no-cache", action="store_true",
+                     help="bypass the on-disk result cache")
+    flt.add_argument("--cache-dir", default=None,
+                     help="cache directory (default: $FLUMEN_CACHE_DIR "
+                          "or .flumen_cache)")
+    flt.add_argument("--no-golden", action="store_true",
+                     help="skip the golden-numbers cross-check on the "
+                          "zero-fault control")
+    flt.add_argument("--out", default=None, metavar="PATH",
+                     help="write campaign records as JSON")
+    flt.add_argument("--csv", default=None, metavar="PATH",
+                     help="write flattened per-run rows as CSV")
+
     args = parser.parse_args(argv)
     logging.basicConfig(
         level=getattr(logging, args.log_level.upper()),
@@ -341,6 +453,7 @@ def main(argv: list[str] | None = None) -> int:
         "area": _cmd_area,
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

@@ -12,6 +12,10 @@ name.  The registered set covers the repository's standing experiments:
 ``noc_latency``
     One synthetic-traffic network simulation (Figure 11 points and the
     network/fabric ablations).
+``fault_point``
+    One fault-injection campaign (DESIGN.md §12): inject a seeded fault
+    mid-run, detect it, walk the degradation ladder, and report
+    accuracy/overhead/recovery statistics (``python -m repro faults``).
 ``selftest``
     A cheap deterministic task exercised by the engine's own tests and
     the CI smoke job; ``params={"fail": true}`` raises on purpose to
@@ -211,6 +215,32 @@ def noc_latency(params: dict, seed: int) -> dict:
         "latency": net.latency.to_dict(),
         "utilization": net.utilization.to_dict(),
     }
+
+
+@register_task("fault_point", context=_parameter_tables)
+def fault_point(params: dict, seed: int) -> dict:
+    """One fault campaign: inject, detect, degrade, recover, report.
+
+    Params: ``fault`` (a registered fault kind, or "none" for the
+    zero-fault control), ``magnitude``, ``runs``, ``cycles``, plus any
+    :class:`~repro.faults.campaign.CampaignSpec` field (``load``,
+    ``request_period``, ``probe_interval``, ...).  The engine-derived
+    seed keeps campaign artifacts byte-identical across job counts.
+    """
+    from repro.faults.campaign import CampaignSpec, run_fault_campaign
+    from repro.faults.ladder import BackoffPolicy
+
+    fields = {f.name for f in dataclasses.fields(CampaignSpec)}
+    kwargs = {k: v for k, v in params.items() if k in fields}
+    if "backoff" in kwargs:
+        kwargs["backoff"] = BackoffPolicy(**kwargs["backoff"])
+    kwargs.setdefault("seed", seed)
+    kwargs["seed"] = int(kwargs["seed"])
+    for key in ("runs", "cycles", "ports", "nodes", "request_period",
+                "probe_interval"):
+        if key in kwargs:
+            kwargs[key] = int(kwargs[key])
+    return run_fault_campaign(CampaignSpec(**kwargs))
 
 
 @register_task("selftest")

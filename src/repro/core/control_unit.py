@@ -7,6 +7,15 @@ arbitration itself (the wavefront arbiter) lives in
 :class:`repro.noc.flumen_net.FlumenNetwork`; this class layers the
 compute-side state on top and exposes the utilization feedback nodes use to
 decide between offloading and computing locally.
+
+Reliability hook (DESIGN.md §12): a :class:`HealthMonitor` may be
+attached to the control unit.  It periodically compares expected vs.
+measured transfer behaviour — the calibration module's basis-vector
+probe plus a received-power ENOB check — and an unhealthy monitor makes
+:meth:`MZIMControlUnit.advise_offload` steer nodes back to their local
+cores while the degradation ladder (:mod:`repro.faults.ladder`) walks
+its recovery rungs.  Without a monitor attached, behaviour is bit-for-bit
+identical to the pre-fault-subsystem control unit.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.config import SystemConfig
 from repro.core.accelerator import BlockMatmul, OffloadPlan
@@ -86,6 +96,100 @@ class MatrixMemory:
         return self._entries[key]
 
 
+class HealthMonitor:
+    """Expected-vs-measured fabric health probe (DESIGN.md §12).
+
+    Every ``interval_cycles`` the monitor samples up to three signals:
+
+    * ``mesh_probe()`` — normalized transfer-matrix error of the compute
+      mesh against its target (the calibration basis-vector probe,
+      :func:`repro.photonics.calibration.matrix_error`);
+    * ``link_probe()`` — transfer error of the communication paths
+      (1.0 while a dead interposer link has no detour programmed);
+    * ``power_probe()`` — received optical power in watts, converted to
+      detector ENOB via :func:`repro.photonics.noise.effective_bits`.
+
+    A sample is unhealthy when the combined error exceeds
+    ``error_threshold`` or the ENOB falls below ``min_effective_bits``.
+    The monitor only *observes*; acting on an unhealthy sample is the
+    degradation ladder's job (:mod:`repro.faults.ladder`).
+    """
+
+    def __init__(self, *,
+                 mesh_probe: Callable[[], float] | None = None,
+                 link_probe: Callable[[], float] | None = None,
+                 power_probe: Callable[[], float] | None = None,
+                 error_threshold: float = 0.05,
+                 min_effective_bits: float = 4.0,
+                 interval_cycles: int = 64,
+                 obs: Obs = NULL_OBS) -> None:
+        if interval_cycles < 1:
+            raise ValueError(
+                f"interval_cycles must be >= 1, got {interval_cycles}")
+        if error_threshold <= 0.0:
+            raise ValueError(
+                f"error_threshold must be > 0, got {error_threshold}")
+        self.mesh_probe = mesh_probe
+        self.link_probe = link_probe
+        self.power_probe = power_probe
+        self.error_threshold = error_threshold
+        self.min_effective_bits = min_effective_bits
+        self.interval_cycles = interval_cycles
+        self.probes = 0
+        self.last_sample: dict | None = None
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._m_probes = obs.metrics.counter("core.health_probes")
+        self._m_unhealthy = obs.metrics.counter("core.health_unhealthy")
+        self._g_error = obs.metrics.gauge("core.health_error")
+        self._g_enob = obs.metrics.gauge("core.health_enob")
+
+    @property
+    def healthy(self) -> bool:
+        """Last sample's verdict (healthy until the first probe)."""
+        return self.last_sample is None or bool(self.last_sample["healthy"])
+
+    def due(self, cycle: int) -> bool:
+        return cycle % self.interval_cycles == 0
+
+    def probe(self, cycle: int) -> dict:
+        """Take one sample now, regardless of the probe interval."""
+        error = 0.0
+        if self.mesh_probe is not None:
+            error = max(error, float(self.mesh_probe()))
+        if self.link_probe is not None:
+            error = max(error, float(self.link_probe()))
+        enob = None
+        if self.power_probe is not None:
+            from repro.photonics.noise import effective_bits
+            enob = float(effective_bits(float(self.power_probe())))
+        healthy = error <= self.error_threshold and (
+            enob is None or enob >= self.min_effective_bits)
+        sample = {"cycle": cycle, "error": error, "enob": enob,
+                  "healthy": healthy}
+        self.last_sample = sample
+        self.probes += 1
+        self._m_probes.inc()
+        if not healthy:
+            self._m_unhealthy.inc()
+        self._g_error.set(error)
+        if enob is not None:
+            self._g_enob.set(enob)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "core", "health", "health_probe", cycle,
+                error=round(error, 6),
+                enob=None if enob is None else round(enob, 3),
+                healthy=healthy)
+        return sample
+
+    def sample(self, cycle: int) -> dict | None:
+        """Probe if a sample is due this cycle; return it (else None)."""
+        if not self.due(cycle):
+            return None
+        return self.probe(cycle)
+
+
 class MZIMControlUnit:
     """Compute-side brain of the Flumen fabric."""
 
@@ -93,7 +197,8 @@ class MZIMControlUnit:
                  system: SystemConfig | None = None,
                  matrix_memory_blocks: int = 256,
                  arbitration_latency_cycles: int = 2,
-                 obs: Obs = NULL_OBS) -> None:
+                 obs: Obs = NULL_OBS,
+                 health: HealthMonitor | None = None) -> None:
         self.network = network
         self.system = system or SystemConfig()
         #: Single buffer of compute requests per network edge (Figure 8);
@@ -104,6 +209,8 @@ class MZIMControlUnit:
         #: waveguide.
         self.arbitration_latency_cycles = arbitration_latency_cycles
         self.requests_received = 0
+        #: Optional fabric health monitor (None = always healthy).
+        self.health = health
         self.obs = obs
         self._tracer = obs.tracer
         self._m_offload_accept = obs.metrics.counter("core.offload_accepted")
@@ -157,14 +264,19 @@ class MZIMControlUnit:
 
         "nodes will not request compute access if the network utilization
         conveyed to them by the MZIM control unit is too high" (Section 3.4).
+        An attached, currently-unhealthy :class:`HealthMonitor` also
+        rejects: while the fabric is being recovered, nodes compute
+        locally rather than queue on a degraded photonic path.
         """
         utilization = self.network_utilization()
-        accept = utilization < utilization_ceiling
+        unhealthy = self.health is not None and not self.health.healthy
+        accept = utilization < utilization_ceiling and not unhealthy
         if not accept:
             self._m_offload_reject.inc()
         if self._tracer.enabled:
             self._tracer.instant(
                 "core", "offload", "offload_advice", self.network.cycle,
                 utilization=round(utilization, 6),
-                ceiling=utilization_ceiling, accept=accept)
+                ceiling=utilization_ceiling, accept=accept,
+                fabric_healthy=not unhealthy)
         return accept

@@ -8,6 +8,15 @@ control unit is too high, and instead will compute locally."
 utilization broadcast and a job's shape, decide between requesting a
 fabric partition and running on the local cores, estimating both
 latencies from the same models the system simulator uses.
+
+Reliability hook (DESIGN.md §12): the utilization broadcast this policy
+consumes comes from :meth:`MZIMControlUnit.advise_offload`, which also
+folds in the :class:`~repro.core.control_unit.HealthMonitor` verdict —
+while the fabric is unhealthy the controller stops advertising capacity,
+so nodes fall back to local compute exactly as they do under congestion,
+with no policy changes here.  The local-path latency estimate
+(:meth:`OffloadPolicy.local_cycles`) is likewise what the scheduler's
+terminal ELECTRICAL rung charges per displaced job.
 """
 
 from __future__ import annotations

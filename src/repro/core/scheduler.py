@@ -12,6 +12,15 @@ This module drives a :class:`~repro.noc.flumen_net.FlumenNetwork` (port
 blocking models the partition stealing fabric bandwidth) and accounts the
 compute timeline from the Table 1 parameters (6 ns programming, 5 GHz input
 modulation, WDM width).
+
+Reliability hook (DESIGN.md §12): an optional
+:class:`~repro.faults.ladder.DegradationLadder` modulates Algorithm 1
+when the health monitor has flagged the fabric — partition sizes are
+capped (SHRINK rung), placement avoids retired ports (REROUTE rung),
+and at the terminal ELECTRICAL rung the partitioner stops granting the
+photonic fabric entirely, servicing every queued request on the
+electrical core path instead (:func:`electrical_duration_cycles`).
+With no ladder attached the scheduling path is unchanged.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from repro.core.control_unit import ComputeRequest, MZIMControlUnit
 from repro.obs import NULL_OBS, Obs
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.ladder import DegradationLadder
     from repro.photonics.fabric import FlumenFabric, Partition
 
 
@@ -50,6 +60,33 @@ def compute_duration_cycles(plan: OffloadPlan,
     return (plan.matrix_switches * program
             + input_cycles
             + return_config + return_flits)
+
+
+def electrical_duration_cycles(plan: OffloadPlan,
+                               system: SystemConfig,
+                               cores: int = 4) -> int:
+    """Network cycles the electrical fallback needs for the same job.
+
+    The terminal rung of the degradation ladder runs the offloaded MACs
+    on the requesting chiplet's SIMD cores (the same cost model the
+    offload policy uses for its local-vs-photonic break-even), scaled
+    from core clock to network clock.
+    """
+    from repro.multicore.cpu import CoreModel
+
+    core = CoreModel(system.core)
+    cost = core.phase_cost(plan.macs_offloaded, 0, None, None, cores)
+    return max(1, int(math.ceil(cost.total_cycles)))
+
+
+@dataclass
+class _ElectricalJob:
+    """A compute request being serviced on the electrical fallback path."""
+
+    request: ComputeRequest
+    total_cycles: int
+    remaining_cycles: int
+    start_cycle: int
 
 
 @dataclass
@@ -81,6 +118,8 @@ class SchedulerStats:
     total_wait_cycles: int = 0
     total_drain_cycles: int = 0
     busy_port_cycles: int = 0
+    #: Requests completed on the electrical fallback path (ladder rung).
+    electrical_completions: int = 0
 
     @property
     def average_wait(self) -> float:
@@ -95,6 +134,7 @@ class SchedulerStats:
             "total_wait_cycles": self.total_wait_cycles,
             "total_drain_cycles": self.total_drain_cycles,
             "busy_port_cycles": self.busy_port_cycles,
+            "electrical_completions": self.electrical_completions,
             "average_wait": self.average_wait,
         }
 
@@ -113,11 +153,16 @@ class FlumenScheduler:
     def __init__(self, control_unit: MZIMControlUnit,
                  system: SystemConfig | None = None,
                  obs: Obs = NULL_OBS,
-                 fabric: FlumenFabric | None = None) -> None:
+                 fabric: FlumenFabric | None = None,
+                 ladder: DegradationLadder | None = None) -> None:
         self.control = control_unit
         self.system = system or control_unit.system
         self.cfg = self.system.scheduler
         self.active: list[ActiveComputation] = []
+        #: Jobs running on the electrical fallback path (ELECTRICAL rung).
+        self.electrical: list[_ElectricalJob] = []
+        #: Optional degradation ladder (DESIGN.md §12); None = no faults.
+        self.ladder = ladder
         self.stats = SchedulerStats()
         self.cycle = 0
         #: Completed request ids, with completion cycles (for callers).
@@ -127,6 +172,8 @@ class FlumenScheduler:
         self._m_grants = obs.metrics.counter("core.partition_grants")
         self._m_deferrals = obs.metrics.counter("core.partition_deferrals")
         self._m_completed = obs.metrics.counter("core.partitions_completed")
+        self._m_electrical = obs.metrics.counter(
+            "core.electrical_fallback_jobs")
         self._h_beta = obs.metrics.histogram(
             "core.beta", bounds=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
                                  0.8, 0.9, 1.0))
@@ -145,10 +192,14 @@ class FlumenScheduler:
 
     def _partitioner(self) -> None:
         """Scan the compute buffer, granting partitions where buffers allow."""
+        if self.ladder is not None and self.ladder.electrical_fallback:
+            self._fallback_to_electrical()
+            return
         network = self.control.network
         remaining = []
         for request in list(self.control.compute_buffer):
-            placement = self._find_ports(request.ports_needed)
+            placement = self._find_ports(
+                self._effective_ports(request.ports_needed))
             if placement is None:
                 remaining.append(request)
                 self.stats.deferred_evaluations += 1
@@ -198,12 +249,49 @@ class FlumenScheduler:
                 self.stats.deferred_evaluations += 1
                 self._m_deferrals.inc()
 
+    def _effective_ports(self, ports_needed: int) -> int:
+        """Partition size after the ladder's SHRINK cap (even, >= 2)."""
+        if self.ladder is None:
+            return ports_needed
+        capped = min(ports_needed, self.ladder.partition_ports_cap)
+        capped -= capped % 2
+        return max(2, capped)
+
+    def _fallback_to_electrical(self) -> None:
+        """ELECTRICAL rung: drain the buffer onto the core-side path.
+
+        No fabric ports are blocked and no photonic partitions are
+        programmed, so communication traffic keeps flowing (and packet
+        conservation holds) while compute requests are serviced
+        electrically.
+        """
+        for request in list(self.control.compute_buffer):
+            duration = electrical_duration_cycles(request.plan, self.system)
+            self.electrical.append(_ElectricalJob(
+                request=request, total_cycles=duration,
+                remaining_cycles=duration, start_cycle=self.cycle))
+            self.control.compute_buffer.remove(request)
+            self._m_electrical.inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "core", "faults", "electrical_fallback", self.cycle,
+                    request_id=request.request_id, node=request.node,
+                    duration=duration)
+
     def _find_ports(self, ports_needed: int) -> tuple[int, int] | None:
-        """First-fit contiguous free fabric port range."""
+        """First-fit contiguous free fabric port range.
+
+        Ports the degradation ladder has retired (dead-link endpoints)
+        are never part of a placement.
+        """
         taken = [False] * self.control.fabric_ports
         for comp in self.active:
             for p in range(comp.lo_port, comp.hi_port):
                 taken[p] = True
+        if self.ladder is not None:
+            for p in self.ladder.unusable_ports:
+                if 0 <= p < len(taken):
+                    taken[p] = True
         run = 0
         for p in range(self.control.fabric_ports):
             run = run + 1 if not taken[p] else 0
@@ -263,6 +351,25 @@ class FlumenScheduler:
                 still_active.append(comp)
         self.active = still_active
 
+        # Electrical fallback jobs progress independently of the fabric.
+        still_electrical: list[_ElectricalJob] = []
+        for job in self.electrical:
+            job.remaining_cycles -= 1
+            if job.remaining_cycles <= 0:
+                self.stats.completed += 1
+                self.stats.electrical_completions += 1
+                self._m_completed.inc()
+                self.completions[job.request.request_id] = self.cycle
+                if self._tracer.enabled:
+                    self._tracer.complete(
+                        "core", "partitions", "electrical_job",
+                        job.start_cycle, self.cycle,
+                        request_id=job.request.request_id,
+                        node=job.request.node)
+            else:
+                still_electrical.append(job)
+        self.electrical = still_electrical
+
         # Partition evaluation every tau cycles (lines 3-5).
         if self.cycle % self.cfg.tau_cycles == 0:
             self._partitioner()
@@ -282,7 +389,8 @@ class FlumenScheduler:
         """Run until all compute requests and packets complete."""
         network = self.control.network
         budget = max_cycles
-        while budget > 0 and (self.active or self.control.compute_buffer
+        while budget > 0 and (self.active or self.electrical
+                              or self.control.compute_buffer
                               or not network.quiescent()):
             self.tick()
             network.step()

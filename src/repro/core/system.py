@@ -22,6 +22,16 @@ Execution model
 Energy follows the same counters: core/L1/L2/L3/DRAM from the multicore
 model, NoP from the network energy model, and the MZIM compute energy from
 the photonic model (Section 5.3's calibration).
+
+The configuration set is not hardcoded: each named configuration is a
+:class:`~repro.core.pipelines.ConfigPipeline` looked up in the pipeline
+registry, so new topology/compute combinations plug in via
+``register_configuration`` and immediately appear in :meth:`run_all`,
+the sweep CLI, and the fault campaigns' golden-reference cross-check
+(``repro.faults.campaign.golden_reference_record``).  This model always
+simulates a healthy fabric; reliability studies attach a
+:class:`~repro.core.control_unit.HealthMonitor` and degradation ladder
+to the same control unit + scheduler pair through :mod:`repro.faults`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,453 @@
+"""Fault-injection campaigns: inject, detect, degrade, measure.
+
+One campaign run co-simulates the full reliability loop on a live
+fabric + network:
+
+* a :class:`~repro.faults.injector.FaultyMesh` programmed with a random
+  unitary target stands in for the compute partition's SVD circuit;
+* a :class:`~repro.noc.flumen_net.FlumenNetwork` carries synthetic
+  traffic while Algorithm 1 grants compute partitions;
+* a seeded :class:`~repro.faults.models.FaultSchedule` fires mid-run;
+* the control unit's :class:`~repro.core.control_unit.HealthMonitor`
+  detects the fault (basis-vector transfer probe + received-power ENOB);
+* the :class:`~repro.faults.ladder.DegradationLadder` walks its rungs —
+  this module performs the rung *actions* (recalibration via
+  :func:`~repro.photonics.calibration.calibrate_by_decomposition`,
+  partition shrink, network reroute) and reports back.
+
+The per-run record captures accuracy loss (ENOB), runtime/energy
+overhead of the recovery, and the recovery statistics the CLI
+aggregates per fault class.  Everything is derived from the seed — two
+runs of ``python -m repro faults --seed 0`` are byte-identical — and a
+zero-fault campaign leaves every simulation path untouched, which the
+attached golden-reference record cross-checks against the pinned
+golden-numbers results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.engine import point_seed
+from repro.config import DeviceParams, SystemConfig
+from repro.core.accelerator import plan_offload
+from repro.core.control_unit import (
+    ComputeRequest,
+    HealthMonitor,
+    MZIMControlUnit,
+)
+from repro.core.scheduler import FlumenScheduler, electrical_duration_cycles
+from repro.faults.injector import FaultDomain, FaultInjector, FaultyMesh
+from repro.faults.ladder import BackoffPolicy, DegradationLadder, Rung
+from repro.faults.models import FaultSchedule, fault_class, registered_faults
+from repro.noc.flumen_net import FlumenNetwork
+from repro.noc.traffic import TrafficGenerator
+from repro.obs import NULL_OBS, Obs
+from repro.photonics.calibration import calibrate_by_decomposition, matrix_error
+from repro.photonics.clements import decompose, random_unitary
+from repro.photonics.noise import effective_bits, snr_to_enob
+
+#: Pseudo fault kind for a control campaign with no injections.
+NO_FAULT = "none"
+#: Received optical power at nominal laser output (the AnalogMVM default).
+NOMINAL_RECEIVED_POWER_W = 50e-6
+#: Digital precision of the electrical fallback path (Table 1: 8-bit).
+ELECTRICAL_BITS = 8.0
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Parameters of one fault campaign (one fault class, many runs)."""
+
+    fault: str = NO_FAULT
+    seed: int = 0
+    runs: int = 4
+    cycles: int = 1500
+    magnitude: float = 1.0
+    ports: int = 8
+    nodes: int = 16
+    load: float = 0.25
+    request_period: int = 150
+    probe_interval: int = 48
+    error_threshold: float = 0.05
+    min_effective_bits: float = 4.0
+    #: Campaign default is snappier than the BackoffPolicy defaults so
+    #: the full ladder (4 rungs x retries) fits inside ``cycles``.
+    backoff: BackoffPolicy = field(default_factory=lambda: BackoffPolicy(
+        base_cycles=16, factor=2.0, max_retries=2,
+        max_backoff_cycles=512))
+    #: Attach the golden-numbers cross-check to zero-fault campaigns.
+    golden_reference: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fault != NO_FAULT:
+            fault_class(self.fault)  # raises with the registered list
+        if self.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if self.cycles < 64:
+            raise ValueError(f"cycles must be >= 64, got {self.cycles}")
+
+    def to_dict(self) -> dict:
+        record = dataclasses.asdict(self)
+        return record
+
+
+def campaign_fault_kinds() -> tuple[str, ...]:
+    """Fault kinds a default campaign covers: controls plus registry."""
+    return (NO_FAULT, *registered_faults())
+
+
+def _error_enob(error: float) -> float:
+    """Matrix-error-limited ENOB, capped at the digital precision."""
+    snr_db = -20.0 * math.log10(max(float(error), 1e-12))
+    return min(ELECTRICAL_BITS, snr_to_enob(snr_db))
+
+
+class _CampaignRun:
+    """One seeded run: fabric, network, monitor, ladder, and actions."""
+
+    def __init__(self, spec: CampaignSpec, run_index: int,
+                 obs: Obs = NULL_OBS) -> None:
+        self.spec = spec
+        self.obs = obs
+        self.seed = point_seed(spec.seed, f"{spec.fault}/{run_index}")
+        self.rng = np.random.default_rng(self.seed)
+        self.system = SystemConfig()
+        self.devices = DeviceParams()
+        self.ports = spec.ports
+        self.target = random_unitary(spec.ports, self.rng)
+        self.domain = FaultDomain(
+            mesh=FaultyMesh(decompose(self.target)))
+        self.net = FlumenNetwork(spec.nodes, obs=obs)
+        self.domain.network = self.net
+        self.ladder = DegradationLadder(
+            fabric_ports=spec.ports, policy=spec.backoff, obs=obs)
+        self.domain.ladder = self.ladder
+        self.monitor = HealthMonitor(
+            mesh_probe=self._mesh_probe,
+            link_probe=self.domain.link_error,
+            power_probe=self.received_power,
+            error_threshold=spec.error_threshold,
+            min_effective_bits=spec.min_effective_bits,
+            interval_cycles=spec.probe_interval,
+            obs=obs)
+        self.control = MZIMControlUnit(self.net, self.system, obs=obs,
+                                       health=self.monitor)
+        self.scheduler = FlumenScheduler(self.control, self.system,
+                                         obs=obs, ladder=self.ladder)
+        self.traffic = TrafficGenerator(spec.nodes, "uniform", spec.load,
+                                        seed=self.seed)
+        if spec.fault == NO_FAULT:
+            schedule = FaultSchedule()
+        else:
+            schedule = FaultSchedule.seeded(
+                [spec.fault], self.seed, window_cycles=spec.cycles,
+                ports=spec.ports, nodes=spec.nodes,
+                magnitude=spec.magnitude)
+        self.injector = FaultInjector(schedule, self.domain,
+                                      seed=self.seed, obs=obs)
+        self.job = plan_offload(spec.ports, spec.ports, 256,
+                                mzim_size=spec.ports,
+                                wavelengths=self.system.compute
+                                .computation_wavelengths)
+        self.recalibrations = 0
+        self.submitted = 0
+        self.detected_cycle: int | None = None
+        self.error_peak = 0.0
+
+    # -- probes ------------------------------------------------------------
+
+    def _mesh_probe(self) -> float:
+        return matrix_error(self.domain.mesh.measure(), self.target)
+
+    def received_power(self) -> float:
+        """Received optical power given laser health and partition size.
+
+        Shrinking the partition removes MZI columns from the light path,
+        so each retired column claws back one column's insertion loss —
+        the physical reason the SHRINK rung helps against laser
+        degradation.
+        """
+        gain_db = self.devices.mzi.insertion_loss_db \
+            * (self.spec.ports - self.ports)
+        return NOMINAL_RECEIVED_POWER_W \
+            * self.domain.laser_power_fraction * 10.0 ** (gain_db / 10.0)
+
+    # -- ladder rung actions ----------------------------------------------
+
+    def _act_recalibrate(self) -> None:
+        calibrate_by_decomposition(self.domain.mesh, self.target,
+                                   iterations=1)
+        self.recalibrations += 1
+
+    def _act_shrink(self, cycle: int) -> None:
+        """Re-place the compute circuit on a smaller, fault-free block.
+
+        The shrunken partition sits on fresh columns, so stuck devices
+        in the retired region stop mattering; continuous drift keeps
+        acting on the new mesh through the injector's domain reference.
+        """
+        new_ports = self.ladder.partition_ports_cap
+        if new_ports >= self.ports:
+            return
+        self.ports = new_ports
+        sub_rng = np.random.default_rng(
+            point_seed(self.seed, f"shrink/{cycle}"))
+        self.target = random_unitary(new_ports, sub_rng)
+        self.domain.mesh = FaultyMesh(decompose(self.target))
+        self.recalibrations += 1  # the new block is programmed once
+
+    def _act_reroute(self) -> None:
+        for src, dst in self.domain.unrouted_pairs():
+            penalty = self.domain.detour_cycles.get((src, dst), 6)
+            self.net.reroute_pair(src, dst, penalty)
+            self.domain.rerouted_pairs.add((src, dst))
+            port = dst * self.spec.ports // self.spec.nodes
+            self.ladder.mark_dead_port(port)
+
+    def _run_ladder_action(self, cycle: int) -> None:
+        self.ladder.attempt_started(cycle)
+        rung = self.ladder.rung
+        if rung is Rung.RECALIBRATE:
+            self._act_recalibrate()
+        elif rung is Rung.SHRINK:
+            self._act_shrink(cycle)
+        elif rung is Rung.REROUTE:
+            self._act_reroute()
+        sample = self.monitor.probe(cycle)
+        self.ladder.attempt_result(cycle, bool(sample["healthy"]),
+                                   error=float(sample["error"]))
+
+    # -- main loop ---------------------------------------------------------
+
+    def execute(self) -> dict:
+        spec = self.spec
+        enob_nominal = min(
+            float(effective_bits(NOMINAL_RECEIVED_POWER_W, self.devices)),
+            _error_enob(self._mesh_probe()))
+        for cycle in range(spec.cycles):
+            for packet in self.traffic.packets_for_cycle(self.net.cycle):
+                self.net.offer_packet(packet)
+            self.injector.tick(cycle)
+            if cycle % spec.request_period == 0 and (
+                    self.control.advise_offload()
+                    or self.ladder.electrical_fallback):
+                self.control.compute_buffer.append(ComputeRequest(
+                    node=cycle % spec.nodes, plan=self.job,
+                    matrix_key="campaign", submit_cycle=cycle,
+                    ports_needed=max(2, spec.ports // 2),
+                    duration_override=60))
+                self.control.requests_received += 1
+                self.submitted += 1
+            sample = self.monitor.sample(cycle)
+            if sample is not None:
+                self.error_peak = max(self.error_peak,
+                                      float(sample["error"]))
+                if not sample["healthy"] and self.ladder.healthy:
+                    if self.ladder.detect(cycle, error=sample["error"]) \
+                            and self.detected_cycle is None:
+                        self.detected_cycle = cycle
+            if self.ladder.due(cycle):
+                self._run_ladder_action(cycle)
+            self.scheduler.tick()
+            self.net.step()
+        self.scheduler.drain(max_cycles=60_000)
+        return self._record(enob_nominal)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _overheads(self) -> dict:
+        """Runtime and energy overhead of detection + recovery.
+
+        Backoff waits come straight from the ladder; each recalibration
+        or re-placement pays one full-mesh programming event (Table 1's
+        6 ns compute programming, DAC power for the write); electrical
+        fallback jobs pay the core-path latency/energy difference vs.
+        the photonic job they replace.
+        """
+        from repro.photonics.compute_energy import MZIMComputeModel
+
+        system = self.system
+        program_cycles = math.ceil(system.compute.mzim_switch_delay_s
+                                   * system.core.frequency_hz)
+        recal_cycles = self.recalibrations * program_cycles
+        recal_energy = self.recalibrations \
+            * self.devices.converter.dac_power_w \
+            * system.compute.mzim_switch_delay_s
+        elec_jobs = self.scheduler.stats.electrical_completions
+        elec_extra_cycles = 0
+        elec_extra_energy = 0.0
+        if elec_jobs:
+            model = MZIMComputeModel()
+            phot_cycles = 60  # the photonic duration_override above
+            per_job = max(
+                0, electrical_duration_cycles(self.job, system)
+                - phot_cycles)
+            elec_extra_cycles = elec_jobs * per_job
+            n, vectors = self.spec.ports, self.job.vectors
+            elec_extra_energy = elec_jobs * max(
+                0.0, model.electrical_matmul_energy(n, vectors)
+                - model.matmul_energy(n, vectors).total)
+        backoff = self.ladder.stats.backoff_cycles
+        runtime_overhead = backoff + recal_cycles + elec_extra_cycles
+        return {
+            "backoff_cycles": backoff,
+            "recalibration_cycles": recal_cycles,
+            "electrical_extra_cycles": elec_extra_cycles,
+            "runtime_overhead_cycles": runtime_overhead,
+            "runtime_overhead_fraction":
+                runtime_overhead / self.spec.cycles,
+            "energy_overhead_j": recal_energy + elec_extra_energy,
+        }
+
+    def _record(self, enob_nominal: float) -> dict:
+        spec = self.spec
+        error_final = max(self._mesh_probe(), self.domain.link_error())
+        if self.ladder.electrical_fallback:
+            # Terminal fallback computes digitally: accuracy is restored
+            # at the electrical path's cost (visible in the overheads).
+            enob_final = ELECTRICAL_BITS
+        else:
+            enob_final = min(
+                float(effective_bits(self.received_power(), self.devices)),
+                _error_enob(error_final))
+        injected = [
+            {"cycle": e.cycle, "kind": e.fault.kind,
+             "params": e.fault.params()}
+            for e in self.injector.injected]
+        offered = self.net.injected_packets
+        delivered = self.net.latency.received
+        stats = self.scheduler.stats
+        return {
+            "fault": spec.fault,
+            "magnitude": spec.magnitude,
+            "seed": self.seed,
+            "injected": injected,
+            "detected_cycle": self.detected_cycle,
+            "detection_latency": (
+                None if self.detected_cycle is None or not injected
+                else self.detected_cycle - injected[0]["cycle"]),
+            "final_rung": self.ladder.rung.name,
+            "recovered": self.ladder.healthy,
+            "ladder": self.ladder.to_dict(),
+            "recalibrations": self.recalibrations,
+            "error_peak": self.error_peak,
+            "error_final": error_final,
+            "enob_nominal": enob_nominal,
+            "enob_final": enob_final,
+            "enob_loss_bits": max(0.0, enob_nominal - enob_final),
+            **self._overheads(),
+            "compute_submitted": self.submitted,
+            "compute_completed": stats.completed,
+            "electrical_completions": stats.electrical_completions,
+            "packets_offered": offered,
+            "packets_delivered": delivered,
+            "packets_conserved": offered == delivered,
+            "network_quiescent": self.net.quiescent(),
+        }
+
+
+def run_single(spec: CampaignSpec, run_index: int,
+               obs: Obs = NULL_OBS) -> dict:
+    """Execute one seeded campaign run and return its record."""
+    return _CampaignRun(spec, run_index, obs=obs).execute()
+
+
+def golden_reference_record() -> dict:
+    """The golden-numbers cross-check for zero-fault campaigns.
+
+    Runs the exact configuration the pinned golden tests use —
+    ``SystemModel(traffic_seed=17)`` on ``ImageBlur(64, 64)`` across
+    every registered configuration — so a campaign artifact with no
+    faults enabled carries proof that the fault subsystem left the
+    simulation byte-identical.
+    """
+    from repro.analysis.tasks import run_to_record
+    from repro.core.system import SystemModel
+    from repro.workloads import ImageBlur
+
+    model = SystemModel(traffic_seed=17)
+    workload = ImageBlur(height=64, width=64)
+    runs = model.run_all(workload)
+    return {name: run_to_record(run) for name, run in runs.items()}
+
+
+def _aggregate(records: list[dict]) -> dict:
+    """Campaign-level summary the CLI table prints."""
+    def mean(key: str) -> float:
+        values = [float(r[key]) for r in records if r[key] is not None]
+        return sum(values) / len(values) if values else 0.0
+
+    rungs: dict[str, int] = {}
+    for record in records:
+        rungs[record["final_rung"]] = \
+            rungs.get(record["final_rung"], 0) + 1
+    detections = [r["detection_latency"] for r in records
+                  if r["detection_latency"] is not None]
+    return {
+        "runs": len(records),
+        "recovery_rate": mean("recovered"),
+        "mean_detection_latency": (
+            sum(detections) / len(detections) if detections else None),
+        "mean_enob_loss_bits": mean("enob_loss_bits"),
+        "mean_runtime_overhead_fraction":
+            mean("runtime_overhead_fraction"),
+        "mean_energy_overhead_j": mean("energy_overhead_j"),
+        "final_rungs": rungs,
+        "all_packets_conserved":
+            all(r["packets_conserved"] for r in records),
+    }
+
+
+def csv_records(campaigns: list[dict]) -> list[dict]:
+    """Flatten campaign records into per-run scalar rows for CSV export."""
+    rows = []
+    for campaign in campaigns:
+        for index, run in enumerate(campaign["runs"]):
+            rows.append({
+                "fault": run["fault"],
+                "magnitude": run["magnitude"],
+                "run": index,
+                "seed": run["seed"],
+                "injected_cycle": (run["injected"][0]["cycle"]
+                                   if run["injected"] else None),
+                "detected_cycle": run["detected_cycle"],
+                "detection_latency": run["detection_latency"],
+                "final_rung": run["final_rung"],
+                "recovered": run["recovered"],
+                "attempts": run["ladder"]["attempts"],
+                "recalibrations": run["recalibrations"],
+                "backoff_cycles": run["backoff_cycles"],
+                "error_peak": run["error_peak"],
+                "error_final": run["error_final"],
+                "enob_nominal": run["enob_nominal"],
+                "enob_final": run["enob_final"],
+                "enob_loss_bits": run["enob_loss_bits"],
+                "runtime_overhead_cycles": run["runtime_overhead_cycles"],
+                "runtime_overhead_fraction":
+                    run["runtime_overhead_fraction"],
+                "energy_overhead_j": run["energy_overhead_j"],
+                "compute_submitted": run["compute_submitted"],
+                "compute_completed": run["compute_completed"],
+                "electrical_completions": run["electrical_completions"],
+                "packets_conserved": run["packets_conserved"],
+            })
+    return rows
+
+
+def run_fault_campaign(spec: CampaignSpec, obs: Obs = NULL_OBS) -> dict:
+    """Run a full campaign (``spec.runs`` seeded runs) for one fault."""
+    records = [run_single(spec, index, obs=obs)
+               for index in range(spec.runs)]
+    out = {
+        "spec": spec.to_dict(),
+        "runs": records,
+        "aggregate": _aggregate(records),
+    }
+    if spec.fault == NO_FAULT and spec.golden_reference:
+        out["golden_reference"] = golden_reference_record()
+    return out

@@ -15,6 +15,11 @@ Ports can be *blocked* to model compute partitions: the scheduler
 to or from those ports waits until the partition is released — the
 communication-blocking overhead quantified in Section 5.4.2.
 
+Dead interposer paths can be *detoured*: the degradation ladder
+(DESIGN.md §12) programs per-pair reroutes via :meth:`reroute_pair`,
+after which grants for the pair pay extra setup cycles but packets keep
+delivering — no traffic is lost to a rerouted fault.
+
 Injection, the run/drain loop, latency sampling, and result assembly come
 from :class:`~repro.noc.kernel.SimKernel`; this module is the crossbar
 arbitration and circuit lifecycle only.
@@ -86,6 +91,10 @@ class FlumenNetwork(SimKernel):
         self._pending: dict[int, _Circuit] = {}
         self._busy_outputs: set[int] = set()
         self.blocked_ports: set[int] = set()
+        #: (src, dst) -> extra setup cycles for a programmed detour
+        #: around a dead interposer path (DESIGN.md §12).
+        self.reroute_penalties: dict[tuple[int, int], int] = {}
+        self.rerouted_grants = 0
         self.reconfigurations = 0
         self.arbiter_conflicts = 0
         self._m_reconfig = obs.metrics.counter(
@@ -94,8 +103,33 @@ class FlumenNetwork(SimKernel):
             "noc.arbiter_conflicts", topology=self.name)
         self._m_overflow = obs.metrics.counter(
             "noc.buffer_overflows", topology=self.name)
+        self._m_reroutes = obs.metrics.counter(
+            "noc.rerouted_circuits", topology=self.name)
 
     # -- scheduler hooks ---------------------------------------------------
+
+    def reroute_pair(self, src: int, dst: int,
+                     extra_setup_cycles: int) -> None:
+        """Program a detour for (src, dst) around a dead interposer path.
+
+        The degradation ladder's REROUTE rung calls this after a dead
+        link is detected: subsequent unicast grants for the pair pay
+        ``extra_setup_cycles`` on top of the normal phase-programming
+        delay (the detour threads a longer MZI column path), but packets
+        still deliver — conservation holds across the fault.
+        """
+        if extra_setup_cycles < 0:
+            raise ValueError(
+                f"extra_setup_cycles must be >= 0, got {extra_setup_cycles}")
+        self.reroute_penalties[(int(src), int(dst))] = int(extra_setup_cycles)
+
+    def _setup_cycles(self, src: int, dst: int) -> int:
+        """Setup delay for one grant, including any detour penalty."""
+        extra = self.reroute_penalties.get((src, dst), 0)
+        if extra:
+            self.rerouted_grants += 1
+            self._m_reroutes.inc()
+        return self.reconfig_cycles + extra
 
     def block_ports(self, ports: set[int]) -> None:
         """Reserve ports for a compute partition (no comm grants touch them).
@@ -282,7 +316,7 @@ class FlumenNetwork(SimKernel):
             packet = self.request_buffers[src].popleft()
             assert packet.dst == dst
             circuit = _Circuit(packet=packet,
-                               setup_left=self.reconfig_cycles,
+                               setup_left=self._setup_cycles(src, dst),
                                remaining_flits=packet.size_flits,
                                grant_cycle=self.cycle)
             self.reconfigurations += 1

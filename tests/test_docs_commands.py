@@ -1,0 +1,75 @@
+"""Tests for the docs-consistency checker (tools/check_doc_commands.py).
+
+The checker is what CI runs to keep README/DESIGN/EXPERIMENTS command
+examples in lockstep with the actual CLI; these tests pin its extraction
+rules and prove it both passes the repo's real docs and catches a stale
+command.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_doc_commands as checker  # noqa: E402
+
+
+class TestExtraction:
+    def test_simple_fenced_command(self):
+        text = "prose\n```bash\npython -m repro info\n```\n"
+        assert checker.extract_commands(text) == [["info"]]
+
+    def test_backslash_continuation_joined(self):
+        text = ("```bash\n"
+                "python -m repro sweep --workloads image_blur \\\n"
+                "    --configs mesh flumen_a --small\n"
+                "```\n")
+        assert checker.extract_commands(text) == [
+            ["sweep", "--workloads", "image_blur",
+             "--configs", "mesh", "flumen_a", "--small"]]
+
+    def test_comments_and_prompts_stripped(self):
+        text = ("```bash\n"
+                "# what CI runs:\n"
+                "$ python -m repro trace --small --check  # fast\n"
+                "```\n")
+        assert checker.extract_commands(text) == [
+            ["trace", "--small", "--check"]]
+
+    def test_non_repro_lines_ignored(self):
+        text = ("```bash\npip install -e .\npytest tests/\n```\n"
+                "```python\nimport numpy as np\n```\n")
+        assert checker.extract_commands(text) == []
+
+    def test_commands_outside_fences_ignored(self):
+        assert checker.extract_commands(
+            "run `python -m repro info` to start") == []
+
+
+class TestChecker:
+    def test_valid_command_passes(self):
+        assert checker.check_command(["info"]) is None
+
+    def test_unknown_subcommand_fails(self):
+        assert checker.check_command(["definitely_not_a_command"]) \
+            is not None
+
+    def test_repo_docs_all_pass(self, capsys):
+        # The CI gate itself: every documented command must parse today.
+        assert checker.main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 failing" in out
+
+    def test_stale_doc_detected(self, tmp_path, capsys):
+        doc = tmp_path / "STALE.md"
+        doc.write_text("```bash\npython -m repro frobnicate --fast\n```\n")
+        assert checker.main([str(doc)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_duplicates_checked_once(self, tmp_path, capsys):
+        doc = tmp_path / "DUP.md"
+        doc.write_text("```bash\npython -m repro info\n"
+                       "python -m repro info\n```\n")
+        assert checker.main([str(doc)]) == 0
+        assert "1 documented commands checked" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Docs-consistency check: every documented CLI command must parse.
+
+Extracts ``python -m repro ...`` commands from the fenced code blocks of
+the user-facing documents (README.md, DESIGN.md, EXPERIMENTS.md),
+re-joins backslash line continuations, and smoke-runs each command with
+``--help`` appended.  Argparse exits 0 from ``--help`` only after the
+subcommand resolved and eagerly-validated arguments (choices, types)
+parsed, so a doc referencing a renamed subcommand, a dropped flag value,
+or a stale invocation style fails this check — which is how the README
+drifted from the CLI once before (the pre-sweep/trace overview).
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/check_doc_commands.py
+
+Exit status is the number of failing commands (0 = docs and CLI agree).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import shlex
+import sys
+from pathlib import Path
+
+#: Documents whose fenced command examples must stay runnable.
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The prefix a fenced line must carry to be checked.
+COMMAND_PREFIX = ("python", "-m", "repro")
+
+
+def fenced_blocks(text: str) -> list[str]:
+    """The contents of every triple-backtick fenced block, in order."""
+    blocks = []
+    inside = False
+    current: list[str] = []
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            if inside:
+                blocks.append("\n".join(current))
+                current = []
+            inside = not inside
+            continue
+        if inside:
+            current.append(line)
+    return blocks
+
+
+def _join_continuations(block: str) -> list[str]:
+    """Physical lines -> logical lines, honouring trailing backslashes."""
+    logical: list[str] = []
+    pending = ""
+    for line in block.splitlines():
+        stripped = line.strip()
+        if stripped.endswith("\\"):
+            pending += stripped[:-1] + " "
+            continue
+        logical.append(pending + stripped)
+        pending = ""
+    if pending:
+        logical.append(pending.strip())
+    return logical
+
+
+def extract_commands(text: str) -> list[list[str]]:
+    """All ``python -m repro`` argument vectors in ``text``'s fences.
+
+    Returns each command as the argv *after* ``python -m repro`` (what
+    ``repro.__main__.main`` accepts).  Shell comments are stripped; a
+    leading ``$`` prompt is tolerated.
+    """
+    commands = []
+    for block in fenced_blocks(text):
+        for line in _join_continuations(block):
+            try:
+                tokens = shlex.split(line, comments=True)
+            except ValueError:
+                continue  # not shell syntax (e.g. a Python snippet)
+            if tokens and tokens[0] == "$":
+                tokens = tokens[1:]
+            if tuple(tokens[:3]) == COMMAND_PREFIX:
+                commands.append(tokens[3:])
+    return commands
+
+
+def check_command(argv: list[str]) -> str | None:
+    """Smoke-parse one documented command; return an error or None."""
+    from repro.__main__ import main
+
+    sink = io.StringIO()
+    try:
+        with contextlib.redirect_stdout(sink), \
+                contextlib.redirect_stderr(sink):
+            main([*argv, "--help"])
+    except SystemExit as exit_:  # argparse signals via SystemExit
+        if exit_.code not in (0, None):
+            return sink.getvalue().strip().splitlines()[-1] \
+                if sink.getvalue().strip() else f"exit {exit_.code}"
+    except Exception as error:  # pragma: no cover - defensive
+        return f"{type(error).__name__}: {error}"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = [Path(p) for p in (argv or [])] \
+        or [REPO_ROOT / name for name in DOC_FILES]
+    failures = 0
+    checked = 0
+    seen: set[tuple[str, ...]] = set()
+    for path in paths:
+        for command in extract_commands(path.read_text()):
+            key = tuple(command)
+            if key in seen:
+                continue
+            seen.add(key)
+            checked += 1
+            error = check_command(command)
+            rendered = "python -m repro " + " ".join(command)
+            if error is None:
+                print(f"ok   {rendered}")
+            else:
+                failures += 1
+                print(f"FAIL {rendered}\n     {error}")
+    print(f"{checked} documented commands checked, {failures} failing")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
