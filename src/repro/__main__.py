@@ -23,6 +23,12 @@ Commands
     mid-run, detected by the health monitor, recovered via the
     degradation ladder; reports ENOB loss, runtime/energy overhead and
     recovery statistics per fault class, with JSON/CSV artifacts.
+``perf``
+    Pinned performance suite (DESIGN.md §13): micro benchmarks of the
+    vectorized photonic kernels (with in-run speedup vs the retained
+    reference oracles) plus macro sweep/fault benchmarks, written to a
+    ``BENCH_<rev>.json`` artifact and compared against a committed
+    baseline (strict output-digest equality, tolerant wall clock).
 
 Deliverable output (tables, telemetry, artifact paths) goes to stdout
 via :func:`repro.analysis.report.emit`; diagnostics go to stderr through
@@ -338,6 +344,68 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if run.failed_results() else 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import perf
+    from repro.analysis.report import format_table
+
+    if args.tolerance <= 0:
+        log.error("--tolerance must be > 0, got %g", args.tolerance)
+        return 2
+
+    def progress(name: str) -> None:
+        log.info("running %s", name)
+
+    payload = perf.run_suite(small=args.small, only=args.only,
+                             progress=progress)
+    if not payload["benchmarks"]:
+        log.error("no benchmarks matched --only %r", args.only)
+        return 2
+
+    rows = []
+    for name, record in payload["benchmarks"].items():
+        speedup = record.get("speedup_vs_reference")
+        per_call = record.get("per_call_s")
+        rows.append([
+            name, f"{record['wall_s']:.3f}",
+            "-" if per_call is None else f"{per_call * 1e3:.3f}",
+            "-" if speedup is None else f"{speedup:.1f}x",
+            (record.get("digest") or "")[:12]])
+    emit(format_table(
+        ["benchmark", "wall (s)", "per call (ms)", "vs reference",
+         "digest"],
+        rows, title=f"Perf suite ({payload['suite']}, "
+                    f"rev {payload['rev']})"))
+
+    out = args.out or perf.default_artifact_path()
+    perf.write_artifact(payload, out)
+    emit(f"wrote {out}")
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        if args.check:
+            log.error("baseline %s not found; cannot --check", baseline_path)
+            return 2
+        emit(f"no baseline at {baseline_path}; skipping comparison")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    delta_rows, failures = perf.compare_to_baseline(
+        payload, baseline, tolerance=args.tolerance)
+    emit()
+    emit(format_table(
+        ["benchmark", "current (s)", "baseline (s)", "ratio", "status"],
+        delta_rows,
+        title=f"vs {baseline_path} (rev {baseline.get('rev', '?')}, "
+              f"tolerance {args.tolerance:g}x)"))
+    for failure in failures:
+        log.error("%s", failure)
+    if failures and args.check:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -441,6 +509,29 @@ def main(argv: list[str] | None = None) -> int:
     flt.add_argument("--csv", default=None, metavar="PATH",
                      help="write flattened per-run rows as CSV")
 
+    prf = sub.add_parser(
+        "perf", help="pinned performance suite -> BENCH_<rev>.json, "
+                     "with baseline comparison (DESIGN.md §13)")
+    prf.add_argument("--small", action="store_true",
+                     help="CI subset (a strict subset of the full "
+                          "suite; a full-suite baseline covers it)")
+    prf.add_argument("--only", default=None, metavar="PREFIX",
+                     help="run only benchmarks whose name starts with "
+                          "PREFIX")
+    prf.add_argument("--out", default=None, metavar="PATH",
+                     help="artifact path (default: BENCH_<rev>.json)")
+    prf.add_argument("--baseline", default="BENCH_baseline.json",
+                     metavar="PATH",
+                     help="baseline to compare against (default: "
+                          "BENCH_baseline.json; skipped if missing "
+                          "unless --check)")
+    prf.add_argument("--check", action="store_true",
+                     help="nonzero exit on digest mismatch or wall "
+                          "time beyond tolerance (requires baseline)")
+    prf.add_argument("--tolerance", type=float, default=2.0,
+                     help="allowed wall-clock ratio vs baseline "
+                          "(default: 2.0; digests are always strict)")
+
     args = parser.parse_args(argv)
     logging.basicConfig(
         level=getattr(logging, args.log_level.upper()),
@@ -454,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "trace": _cmd_trace,
         "faults": _cmd_faults,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

@@ -458,6 +458,12 @@ class SweepEngine:
             telemetry.cache_hits)
         metrics.counter("engine.failures", task=task_name).inc(
             telemetry.failures)
+        # Per-phase wall timing (count-only in deterministic snapshots).
+        metrics.timer("engine.run_seconds", task=task_name).observe(
+            telemetry.duration_s)
+        if telemetry.evaluated:
+            metrics.timer("engine.task_seconds", task=task_name).observe(
+                telemetry.task_seconds)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,335 @@
+"""Pinned performance benchmark suite (``python -m repro perf``).
+
+The harness that keeps the hot-path optimisations honest: a fixed set of
+micro benchmarks (mesh propagation, WDM propagation, hop tracing, SVD
+programming) and macro benchmarks (small system sweep, fault-campaign
+smoke, an idle-network run) that
+
+* measures wall time per benchmark **and** — for the vectorized photonic
+  kernels — the in-run speedup over the retained ``_reference_*``
+  oracles, so the ≥3x claim is re-proven on every machine rather than
+  compared across machines;
+* hashes every benchmark's simulation output (``digest``), so a perf
+  regression can be told apart from a *correctness* regression: digests
+  are seeded and machine-independent, and must match the committed
+  baseline byte-for-byte;
+* writes a ``BENCH_<rev>.json`` artifact (``rev`` is the engine's
+  :func:`~repro.analysis.engine.code_version`, so artifacts pin the
+  exact source tree they measured) and reports deltas against a
+  committed baseline with a configurable wall-clock tolerance.
+
+Wall times are machine-dependent; digests and speedup ratios are not.
+The CI ``perf-smoke`` job therefore compares digests strictly and wall
+times with a generous (2x) tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.engine import (
+    PointSpec,
+    SweepEngine,
+    canonical_json,
+    code_version,
+)
+
+SCHEMA_VERSION = 1
+DEFAULT_BASELINE = "BENCH_baseline.json"
+DEFAULT_TOLERANCE = 2.0
+
+
+def _digest_array(arr: np.ndarray) -> str:
+    """Machine-independent content hash of one ndarray."""
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _digest_json(obj: object) -> str:
+    """Content hash of a JSON-serializable object (canonical form)."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+def _time_calls(fn, reps: int) -> float:
+    """Mean seconds per call over ``reps`` invocations."""
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def _programmed_mesh(n: int):
+    from repro.photonics.clements import decompose, random_unitary
+    return decompose(random_unitary(n, np.random.default_rng(n)))
+
+
+def _fixed_fields(n: int, width: int | None = None) -> np.ndarray:
+    rng = np.random.default_rng(1000 + n + (width or 0))
+    shape = (n,) if width is None else (n, width)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+# ----------------------------------------------------------------------
+# micro benchmarks
+# ----------------------------------------------------------------------
+
+
+def _bench_propagate(n: int, small: bool,
+                     width: int | None = None) -> dict:
+    mesh = _programmed_mesh(n)
+    fields = _fixed_fields(n, width)
+    mesh.propagate(fields)  # warm the propagation plan
+    reps = {16: 12, 32: 8, 64: 5}.get(n, 5) if small \
+        else {16: 60, 32: 30, 64: 15}.get(n, 10)
+    ref_reps = max(2, reps // 5)
+    vec_s = _time_calls(lambda: mesh.propagate(fields), reps)
+    ref_s = _time_calls(lambda: mesh._reference_propagate(fields), ref_reps)
+    return {
+        "wall_s": vec_s * reps,
+        "per_call_s": vec_s,
+        "reference_per_call_s": ref_s,
+        "speedup_vs_reference": ref_s / vec_s if vec_s > 0 else float("inf"),
+        "meta": {"n": n, "width": width},
+        "digest": _digest_array(mesh.propagate(fields)),
+    }
+
+
+def _bench_trace_hops(n: int, small: bool) -> dict:
+    from repro.photonics.clements import _trace_hops
+    mesh = _programmed_mesh(n)
+    reps = 1 if small else 3
+    # _trace_hops directly: the memo would make later reps free.
+    cold_s = _time_calls(lambda: _trace_hops(mesh), reps)
+    mesh.mzis_per_path()
+    warm_s = _time_calls(mesh.mzis_per_path, 10)
+    return {
+        "wall_s": cold_s * reps,
+        "per_call_s": cold_s,
+        "memoized_per_call_s": warm_s,
+        "meta": {"n": n},
+        "digest": _digest_array(np.asarray(mesh.mzis_per_path())),
+    }
+
+
+def _bench_svd_cache(n: int, small: bool) -> dict:
+    from repro.photonics.svd import clear_svd_cache, program_svd
+    rng = np.random.default_rng(2000 + n)
+    matrix = rng.standard_normal((n, n))
+    clear_svd_cache()
+    t0 = time.perf_counter()
+    program = program_svd(matrix)
+    cold_s = time.perf_counter() - t0
+    reps = 3 if small else 10
+    warm_s = _time_calls(lambda: program_svd(matrix), reps)
+    return {
+        "wall_s": cold_s,
+        "per_call_s": cold_s,
+        "memoized_per_call_s": warm_s,
+        "speedup_vs_cold": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "meta": {"n": n},
+        "digest": _digest_array(program.matrix()),
+    }
+
+
+def _bench_noc_idle(small: bool) -> dict:
+    from repro.noc.network import Network
+    from repro.noc.topology import make_topology
+    from repro.noc.traffic import TrafficGenerator
+
+    nodes, cycles, load = 64, 2500, 0.02
+    net = Network(make_topology("mesh", nodes))
+    traffic = TrafficGenerator(nodes, "uniform", load, seed=5)
+    t0 = time.perf_counter()
+    net.run(traffic, cycles=cycles, warmup=cycles // 3, drain=True)
+    wall = time.perf_counter() - t0
+    summary = {
+        "latency": net.latency.to_dict(),
+        "injected": net.injected_packets,
+        "flit_hops": net.flit_hops,
+        "cycles": net.cycle,
+    }
+    return {
+        "wall_s": wall,
+        "meta": {"nodes": nodes, "cycles": cycles, "load": load,
+                 "topology": "mesh"},
+        "digest": _digest_json(summary),
+    }
+
+
+# ----------------------------------------------------------------------
+# macro benchmarks (through the sweep engine, deterministic seeding)
+# ----------------------------------------------------------------------
+
+
+def _bench_sweep(workloads: list[str], configs: list[str]) -> dict:
+    points = [PointSpec(key=f"{wl}/{cfg}",
+                        params={"workload": wl, "configuration": cfg,
+                                "shapes": "small"})
+              for wl in workloads for cfg in configs]
+    engine = SweepEngine(jobs=1, cache=None)
+    run = engine.run("system_point", points, base_seed=17)
+    if run.failed_results():
+        raise RuntimeError(
+            f"sweep benchmark failed: {run.failed_results()[0].error}")
+    return {
+        "wall_s": run.telemetry.duration_s,
+        "meta": {"workloads": workloads, "configs": configs,
+                 "shapes": "small", "base_seed": 17},
+        "digest": _digest_json(run.records()),
+    }
+
+
+def _bench_sweep_2x2(small: bool) -> dict:
+    return _bench_sweep(["image_blur", "rotation3d"], ["mesh", "flumen_a"])
+
+
+def _bench_sweep_full(small: bool) -> dict:
+    from repro.core.pipelines import configuration_names
+    from repro.workloads import paper_workloads
+    return _bench_sweep([wl.name for wl in paper_workloads()],
+                        list(configuration_names()))
+
+
+def _bench_fault_smoke(small: bool) -> dict:
+    points = [PointSpec(key="stuck_mzi/m1",
+                        params={"fault": "stuck_mzi", "magnitude": 1.0,
+                                "runs": 1, "cycles": 600,
+                                "golden_reference": False})]
+    engine = SweepEngine(jobs=1, cache=None)
+    run = engine.run("fault_point", points, base_seed=0)
+    if run.failed_results():
+        raise RuntimeError(
+            f"fault benchmark failed: {run.failed_results()[0].error}")
+    return {
+        "wall_s": run.telemetry.duration_s,
+        "meta": {"fault": "stuck_mzi", "runs": 1, "cycles": 600,
+                 "base_seed": 0},
+        "digest": _digest_json(run.records()),
+    }
+
+
+#: The pinned suite: (name, in_small_suite, callable(small) -> record).
+BENCHMARKS: list[tuple[str, bool, object]] = [
+    ("mesh_propagate/n16", True,
+     lambda small: _bench_propagate(16, small)),
+    ("mesh_propagate/n32", True,
+     lambda small: _bench_propagate(32, small)),
+    ("mesh_propagate/n64", True,
+     lambda small: _bench_propagate(64, small)),
+    ("mesh_propagate_wdm/n32_p8", True,
+     lambda small: _bench_propagate(32, small, width=8)),
+    ("mesh_propagate_wdm/n64_p4", False,
+     lambda small: _bench_propagate(64, small, width=4)),
+    ("mesh_trace_hops/n64", True, lambda small: _bench_trace_hops(64, small)),
+    ("svd_program_cache/n16", True,
+     lambda small: _bench_svd_cache(16, small)),
+    ("noc_idle_run/mesh64", True, _bench_noc_idle),
+    ("sweep_small/2x2", True, _bench_sweep_2x2),
+    ("sweep_small/full_grid", False, _bench_sweep_full),
+    ("faults_smoke/stuck_mzi", True, _bench_fault_smoke),
+]
+
+
+def benchmark_names(small: bool = False) -> list[str]:
+    return [name for name, in_small, _fn in BENCHMARKS
+            if in_small or not small]
+
+
+def run_suite(small: bool = False,
+              only: str | None = None,
+              progress=None) -> dict:
+    """Execute the pinned suite; returns the artifact payload.
+
+    ``small`` restricts to the CI subset (a strict subset of the full
+    suite, so a full-suite baseline covers every small-suite benchmark).
+    ``only`` keeps just the benchmarks whose name starts with the given
+    prefix (used by the tests).  ``progress(name)`` is called before
+    each benchmark runs.
+    """
+    benchmarks: dict[str, dict] = {}
+    for name, in_small, fn in BENCHMARKS:
+        if small and not in_small:
+            continue
+        if only and not name.startswith(only):
+            continue
+        if progress is not None:
+            progress(name)
+        benchmarks[name] = fn(small)
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "small" if small else "full",
+        "rev": code_version()[:12],
+        "benchmarks": benchmarks,
+    }
+
+
+def write_artifact(payload: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def default_artifact_path() -> str:
+    return f"BENCH_{code_version()[:12]}.json"
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        tolerance: float = DEFAULT_TOLERANCE
+                        ) -> tuple[list[list], list[str]]:
+    """Delta report of ``current`` against ``baseline``.
+
+    Returns ``(rows, failures)``: one row per benchmark present in both
+    payloads with identical ``meta`` (benchmarks only in one side are
+    reported but never failed), and a list of human-readable failures —
+    a digest mismatch (simulation output changed: a correctness bug,
+    failed strictly) or a timing ratio above ``tolerance``.  When both
+    sides report ``per_call_s`` the ratio uses it (repetition-count
+    independent, so a small-suite run compares cleanly against a
+    full-suite baseline); otherwise it falls back to ``wall_s``.
+    """
+    rows: list[list] = []
+    failures: list[str] = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, record in current.get("benchmarks", {}).items():
+        base = base_benchmarks.get(name)
+        if base is None:
+            rows.append([name, f"{record['wall_s']:.4f}", "-", "-",
+                         "new (no baseline)"])
+            continue
+        if base.get("meta") != record.get("meta"):
+            rows.append([name, f"{record['wall_s']:.4f}", "-", "-",
+                         "meta changed (not compared)"])
+            continue
+        if record.get("per_call_s") and base.get("per_call_s"):
+            quantity, cur, ref = \
+                "per-call", record["per_call_s"], base["per_call_s"]
+        else:
+            quantity, cur, ref = "wall", record["wall_s"], base["wall_s"]
+        ratio = cur / ref if ref > 0 else float("inf")
+        status = "ok"
+        if record.get("digest") and base.get("digest") \
+                and record["digest"] != base["digest"]:
+            status = "DIGEST MISMATCH"
+            failures.append(
+                f"{name}: simulation output digest changed "
+                f"({base['digest'][:12]} -> {record['digest'][:12]})")
+        elif ratio > tolerance:
+            status = f"SLOWER than {tolerance:g}x budget"
+            failures.append(
+                f"{name}: {quantity} {cur:.4f}s is {ratio:.2f}x the "
+                f"baseline {ref:.4f}s (tolerance {tolerance:g}x)")
+        rows.append([name, f"{cur:.4f}", f"{ref:.4f}",
+                     f"{ratio:.2f}x", status])
+    for name in base_benchmarks:
+        if name not in current.get("benchmarks", {}):
+            rows.append([name, "-", f"{base_benchmarks[name]['wall_s']:.4f}",
+                        "-", "not run"])
+    return rows, failures

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import logging
 import math
+import time
 from dataclasses import dataclass
 
 from repro.config import SystemConfig
@@ -430,6 +431,11 @@ class SystemModel:
             # stream from L3 rather than resident matrix memory.
             control.enqueue(request)
         trace = TracePlayback(events)
+        # This scheduler-interleaved loop bypasses SimKernel.run(), so it
+        # carries the same phase instrumentation: wall seconds into the
+        # timer series, simulated extent as a cycle-stamped trace span.
+        wall_start = time.perf_counter()
+        start_cycle = net.cycle
         for _ in range(window):
             for packet in trace.packets_for_cycle(net.cycle):
                 net.offer_packet(packet)
@@ -441,6 +447,14 @@ class SystemModel:
             scheduler.tick()
             net.step()
             budget -= 1
+        self.obs.metrics.timer("noc.run_seconds", topology=net.name) \
+            .observe(time.perf_counter() - wall_start)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.complete(
+                "noc", "kernel", f"run:{net.name}",
+                start_cycle, net.cycle,
+                cycles=net.cycle - start_cycle,
+                injected=net.injected_packets)
         drain_extra = max(0, net.cycle - window)
         comm_cycles = span_cycles + drain_extra * scale
         result = net.result("trace", 0.0)

@@ -48,6 +48,15 @@ class WavefrontArbiter:
         self.n = n
         self._priority = 0
 
+    def rotate(self) -> None:
+        """Advance the priority diagonal without allocating.
+
+        :meth:`allocate` rotates on *every* call, requests or not, so an
+        idle fast path that skips building an empty request matrix must
+        still rotate to keep later allocations cycle-exact.
+        """
+        self._priority = (self._priority + 1) % self.n
+
     def allocate(self, requests: np.ndarray) -> list[tuple[int, int]]:
         """Grant a conflict-free subset of the request matrix.
 

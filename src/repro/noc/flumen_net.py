@@ -85,6 +85,9 @@ class FlumenNetwork(SimKernel):
             deque() for _ in range(nodes)]
         #: Overflow queues at the endpoints (buffers are finite).
         self._overflow: list[deque[Packet]] = [deque() for _ in range(nodes)]
+        #: Sources with anything buffered (request buffer or overflow);
+        #: the per-cycle scans only visit these.
+        self._waiting_sources: set[int] = set()
         self._arbiter = WavefrontArbiter(nodes)
         self._circuits: dict[int, _Circuit] = {}  # keyed by source port
         #: Pre-granted next circuits whose setup overlaps the active one.
@@ -184,10 +187,19 @@ class FlumenNetwork(SimKernel):
         else:
             self._overflow[packet.src].append(packet)
             self._m_overflow.inc()
+        self._waiting_sources.add(packet.src)
+
+    def _drained(self, src: int) -> None:
+        """Drop ``src`` from the waiting set once nothing is buffered."""
+        if not self.request_buffers[src] and not self._overflow[src]:
+            self._waiting_sources.discard(src)
 
     def _refill_buffers(self) -> None:
-        for port in range(self.nodes):
-            buf, over = self.request_buffers[port], self._overflow[port]
+        for port in self._waiting_sources:
+            over = self._overflow[port]
+            if not over:
+                continue
+            buf = self.request_buffers[port]
             while over and len(buf) < self.request_buffer_capacity:
                 buf.append(over.popleft())
 
@@ -255,7 +267,8 @@ class FlumenNetwork(SimKernel):
         A multicast head needs its source idle and every destination
         output free; it is granted outside the unicast matching.
         """
-        for src, buf in enumerate(self.request_buffers):
+        for src in sorted(self._waiting_sources):
+            buf = self.request_buffers[src]
             if not buf or not buf[0].multicast_dsts:
                 continue
             if src in self._circuits or src in self._pending \
@@ -266,6 +279,7 @@ class FlumenNetwork(SimKernel):
                    for d in dsts):
                 continue
             packet = buf.popleft()
+            self._drained(src)
             self._circuits[src] = _Circuit(
                 packet=packet, setup_left=self.reconfig_cycles,
                 remaining_flits=packet.size_flits,
@@ -274,10 +288,15 @@ class FlumenNetwork(SimKernel):
             self.reconfigurations += 1
             self._m_reconfig.inc()
 
-    def _unicast_requests(self) -> np.ndarray:
-        """The unicast request matrix from head-of-buffer packets."""
-        requests = np.zeros((self.nodes, self.nodes), dtype=bool)
-        for src, buf in enumerate(self.request_buffers):
+    def _unicast_requests(self) -> np.ndarray | None:
+        """The unicast request matrix from head-of-buffer packets.
+
+        Returns ``None`` instead of an all-false matrix when no source
+        is requesting — the idle fast path.
+        """
+        requests = None
+        for src in sorted(self._waiting_sources):
+            buf = self.request_buffers[src]
             if not buf or buf[0].multicast_dsts \
                     or not self._eligible_source(src):
                 continue
@@ -290,11 +309,20 @@ class FlumenNetwork(SimKernel):
                     continue
             if any(p.packet.dst == dst for p in self._pending.values()):
                 continue
+            if requests is None:
+                requests = np.zeros((self.nodes, self.nodes), dtype=bool)
             requests[src, dst] = True
         return requests
 
-    def _grant_unicasts(self, requests: np.ndarray) -> None:
+    def _grant_unicasts(self, requests: np.ndarray | None) -> None:
         """Allocate the request matrix; winners set up circuits."""
+        if requests is None:
+            # Idle fast path.  allocate() rotates the wavefront priority
+            # on every call, empty matrix or not, so the skip must too —
+            # otherwise later grants diverge from the full scan.
+            if self.arbitration == "wavefront":
+                self._arbiter.rotate()
+            return
         if self.arbitration == "wavefront":
             grants = self._arbiter.allocate(requests)
         else:  # sequential: one grant per cycle, rotating priority
@@ -314,6 +342,7 @@ class FlumenNetwork(SimKernel):
             self._m_conflicts.inc(conflicts)
         for src, dst in grants:
             packet = self.request_buffers[src].popleft()
+            self._drained(src)
             assert packet.dst == dst
             circuit = _Circuit(packet=packet,
                                setup_left=self._setup_cycles(src, dst),

@@ -21,6 +21,8 @@ four hooks, register a factory.
 
 from __future__ import annotations
 
+import time
+
 from repro.noc.packet import Packet
 from repro.noc.stats import LatencyStats, SimulationResult, UtilizationTracker
 from repro.obs import NULL_OBS, Obs
@@ -116,6 +118,8 @@ class SimKernel:
         in-flight packet is delivered or the drain budget runs out.
         """
         self.latency.warmup_cycles = warmup
+        start_cycle = self.cycle
+        wall_start = time.perf_counter()
         self._begin_run()
         for _ in range(cycles):
             for packet in traffic.packets_for_cycle(self.cycle):
@@ -128,6 +132,17 @@ class SimKernel:
                 budget -= 1
         self.utilization.finish()
         self._end_run()
+        # Per-run phase timing: wall seconds into the (count-only by
+        # default) timer series, simulated extent as a cycle-stamped
+        # span so the run shows up in the Chrome-trace export.
+        self.obs.metrics.timer("noc.run_seconds", topology=self.name) \
+            .observe(time.perf_counter() - wall_start)
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "noc", "kernel", f"run:{self.name}",
+                start_cycle, self.cycle,
+                cycles=self.cycle - start_cycle,
+                injected=self.injected_packets)
 
     def _begin_run(self) -> None:
         """Hook fired as :meth:`run` starts (before any injection)."""

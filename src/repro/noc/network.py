@@ -59,6 +59,11 @@ class Network(SimKernel):
             deque() for _ in range(topology.nodes)]
         #: Flits on links: [cycles until arrival, router, in_port, flit].
         self._in_flight: list[list] = []
+        #: Routers with resident flits; idle routers are skipped by
+        #: :meth:`step` (their pipeline stages are exact no-ops).
+        self._active_routers: set[int] = set()
+        #: Nodes whose source queue is non-empty.
+        self._waiting_sources: set[int] = set()
         self.ejected_flits = 0
         self._m_hops = obs.metrics.counter(
             "noc.flit_hops", topology=topology.name)
@@ -73,12 +78,13 @@ class Network(SimKernel):
         for flit in flits:
             flit.vc = vc
         self.source_queues[packet.src].extend(flits)
+        self._waiting_sources.add(packet.src)
 
     def _inject(self) -> None:
         """Move at most one flit per node from source queue into the router."""
-        for node, queue in enumerate(self.source_queues):
-            if not queue:
-                continue
+        emptied: list[int] = []
+        for node in sorted(self._waiting_sources):
+            queue = self.source_queues[node]
             flit = queue[0]
             router = self.routers[node]
             if router.buffer_space(LOCAL_PORT, flit.vc) > 0:
@@ -88,6 +94,10 @@ class Network(SimKernel):
                     continue
                 queue.popleft()
                 router.accept_flit(LOCAL_PORT, flit)
+                self._active_routers.add(node)
+                if not queue:
+                    emptied.append(node)
+        self._waiting_sources.difference_update(emptied)
 
     # -- simulation ------------------------------------------------------
 
@@ -105,6 +115,7 @@ class Network(SimKernel):
             entry[0] -= 1
             if entry[0] <= 0:
                 self.routers[entry[1]].accept_flit(entry[2], entry[3])
+                self._active_routers.add(entry[1])
             else:
                 still_flying.append(entry)
         self._in_flight = still_flying
@@ -112,11 +123,16 @@ class Network(SimKernel):
         # 2. Injection from source queues.
         self._inject()
 
-        # 3. Router pipelines.
+        # 3. Router pipelines — active routers only, in ascending id
+        #    order (matching the full scan).  A router without buffered
+        #    flits makes every stage an exact no-op (no arbiter state
+        #    moves without a request), so skipping it is cycle-exact.
         busy_links = 0
         sends: list[list] = []
         credits_back: list[tuple[int, int, int]] = []
-        for router in self.routers:
+        went_idle: list[int] = []
+        for router_id in sorted(self._active_routers):
+            router = self.routers[router_id]
             router.route_stage(self.topology.route)
             router.vc_alloc_stage(self._allowed_vcs)
             for in_port, in_vc in router.switch_alloc_stage():
@@ -140,6 +156,9 @@ class Network(SimKernel):
                               nxt[0], nxt[1], flit])
                 busy_links += 1
                 self.link_traversals += 1
+            if router.occupancy() == 0:
+                went_idle.append(router_id)
+        self._active_routers.difference_update(went_idle)
 
         # 4. Apply credits and schedule link arrivals.
         for router_id, out_port, vc in credits_back:

@@ -31,6 +31,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    Timer,
 )
 from repro.obs.tracer import (
     LAYERS,
@@ -52,6 +53,7 @@ __all__ = [
     "NullMetricsRegistry",
     "NullTracer",
     "Obs",
+    "Timer",
     "chrome_trace_payload",
     "load_and_validate",
     "validate_chrome_trace",

@@ -23,6 +23,8 @@ can safely accumulate into shared series.
 from __future__ import annotations
 
 import bisect
+import time
+from contextlib import contextmanager
 
 #: Default histogram bucket upper bounds (cycles/latency-flavored).
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
@@ -106,12 +108,64 @@ class Histogram:
         }
 
 
+class Timer:
+    """Wall-clock phase timer: observation count plus elapsed seconds.
+
+    Wall-clock readings are machine-dependent, so the *default* registry
+    snapshot (:meth:`MetricsRegistry.to_dict`) reports only the
+    deterministic observation count — same-seed runs stay byte-identical.
+    Pass ``wall_time=True`` to :meth:`to_dict` for the measured seconds
+    (the ``repro perf`` harness does).
+    """
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = float("-inf")
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @contextmanager
+    def time(self):
+        """Context manager timing its body with ``time.perf_counter``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self, wall_time: bool = False) -> dict:
+        if not wall_time:
+            return {"count": self.count}
+        return {
+            "count": self.count,
+            "sum_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s if self.count else 0.0,
+        }
+
+
 class _NullInstrument:
     """Shared no-op stand-in for every instrument kind."""
 
     __slots__ = ()
     value = 0
     count = 0
+    total_s = 0.0
 
     def inc(self, amount: int | float = 1) -> None:
         pass
@@ -121,6 +175,10 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    @contextmanager
+    def time(self):
+        yield self
 
 
 NULL_INSTRUMENT = _NullInstrument()
@@ -135,6 +193,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._timers: dict[str, Timer] = {}
 
     @staticmethod
     def _labels(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
@@ -160,8 +219,19 @@ class MetricsRegistry:
             self._histograms[key] = Histogram(bounds)
         return self._histograms[key]
 
-    def to_dict(self) -> dict:
-        """Deterministic deep snapshot of every series (sorted keys)."""
+    def timer(self, name: str, **labels: object) -> Timer:
+        key = _series_key(name, self._labels(labels))
+        if key not in self._timers:
+            self._timers[key] = Timer()
+        return self._timers[key]
+
+    def to_dict(self, wall_time: bool = False) -> dict:
+        """Deterministic deep snapshot of every series (sorted keys).
+
+        Timers report only their observation count unless
+        ``wall_time=True`` — wall-clock sums would break the
+        byte-identity of same-seed snapshots.
+        """
         return {
             "counters": {k: self._counters[k].value
                          for k in sorted(self._counters)},
@@ -169,6 +239,8 @@ class MetricsRegistry:
                        for k in sorted(self._gauges)},
             "histograms": {k: self._histograms[k].to_dict()
                            for k in sorted(self._histograms)},
+            "timers": {k: self._timers[k].to_dict(wall_time)
+                       for k in sorted(self._timers)},
         }
 
 
@@ -189,6 +261,9 @@ class NullMetricsRegistry(MetricsRegistry):
     def histogram(self, name: str,
                   bounds: tuple[float, ...] = DEFAULT_BUCKETS,
                   **labels: object):
+        return NULL_INSTRUMENT
+
+    def timer(self, name: str, **labels: object):
         return NULL_INSTRUMENT
 
 

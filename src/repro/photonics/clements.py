@@ -51,6 +51,80 @@ class DecompositionError(ValueError):
     """Raised when the input matrix is not (numerically) unitary."""
 
 
+class _TrackedMZIList(list):
+    """A list of MZI states that reports every mutation to its mesh.
+
+    The mesh caches derived structures (the columnized propagation plan,
+    the per-path hop matrix) that depend on the programmed phases.
+    Phases only change by replacing frozen :class:`MZIState` entries —
+    ``mesh.mzis[i] = state`` in the fabric and the fault injector — so
+    intercepting list mutation is sufficient to invalidate on any phase
+    write.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, iterable=(), owner=None):
+        super().__init__(iterable)
+        self._owner = owner
+
+    def _touch(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            owner._invalidate_caches()
+
+    def __setitem__(self, index, value):
+        super().__setitem__(index, value)
+        self._touch()
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._touch()
+
+    def __iadd__(self, other):
+        result = super().__iadd__(other)
+        self._touch()
+        return result
+
+    def __imul__(self, factor):
+        result = super().__imul__(factor)
+        self._touch()
+        return result
+
+    def append(self, value):
+        super().append(value)
+        self._touch()
+
+    def extend(self, iterable):
+        super().extend(iterable)
+        self._touch()
+
+    def insert(self, index, value):
+        super().insert(index, value)
+        self._touch()
+
+    def pop(self, index=-1):
+        value = super().pop(index)
+        self._touch()
+        return value
+
+    def remove(self, value):
+        super().remove(value)
+        self._touch()
+
+    def clear(self):
+        super().clear()
+        self._touch()
+
+    def sort(self, **kwargs):
+        super().sort(**kwargs)
+        self._touch()
+
+    def reverse(self):
+        super().reverse()
+        self._touch()
+
+
 @dataclass
 class MZIMesh:
     """A programmed rectangular MZI mesh.
@@ -75,6 +149,24 @@ class MZIMesh:
         if self.output_phases is None:
             self.output_phases = np.ones(self.n, dtype=complex)
 
+    def __setattr__(self, name, value) -> None:
+        # ``mzis`` is wrapped so in-place phase writes (``mesh.mzis[i] =
+        # state`` in the fabric and the fault injector) invalidate the
+        # cached propagation plan and hop matrix; wholesale reassignment
+        # (``mesh.mzis = _assign_columns(...)`` in reck.py) re-wraps and
+        # invalidates too.  ``output_phases`` needs no invalidation: the
+        # plan and the hop trace never capture it — it is read at call
+        # time.
+        if name == "mzis":
+            value = _TrackedMZIList(value, owner=self)
+        object.__setattr__(self, name, value)
+        if name == "mzis":
+            self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        object.__setattr__(self, "_plan", None)
+        object.__setattr__(self, "_hops", None)
+
     @property
     def num_mzis(self) -> int:
         return len(self.mzis)
@@ -86,16 +178,39 @@ class MZIMesh:
             return 0
         return 1 + max(mzi.column for mzi in self.mzis)
 
+    def _propagation_plan(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """The columnized plan: ``(top_modes, transfers)`` per column.
+
+        Each entry batches the 2x2 transfers of one physical column —
+        pairwise-disjoint mode pairs, so they apply in any order — as a
+        ``(k,)`` index array and a ``(k, 2, 2)`` stacked transfer array.
+        Built lazily, cached until any phase write.
+        """
+        plan = getattr(self, "_plan", None)
+        if plan is None:
+            plan = [
+                (np.fromiter((mzi.top_mode for mzi in group),
+                             dtype=np.intp, count=len(group)),
+                 np.stack([mzi.transfer for mzi in group]))
+                for group in _disjoint_batches(self.mzis, self.n)
+            ]
+            object.__setattr__(self, "_plan", plan)
+        return plan
+
     def matrix(self) -> np.ndarray:
         """Reconstruct the implemented unitary exactly.
 
         ``matrix() @ a`` equals :meth:`propagate` applied to ``a``.
+        Column-batched ``np.matmul`` keeps the result bit-identical to
+        the per-MZI reference loop (same 2x2 matmul kernel, same
+        operand order along every mode).
         """
         u = np.eye(self.n, dtype=complex)
-        for mzi in self.mzis:
-            t = mzi.transfer
-            m = mzi.top_mode
-            u[m:m + 2, :] = t @ u[m:m + 2, :]
+        for top, transfers in self._propagation_plan():
+            pairs = np.stack((u[top], u[top + 1]), axis=1)  # (k, 2, n)
+            mixed = np.matmul(transfers, pairs)
+            u[top] = mixed[:, 0]
+            u[top + 1] = mixed[:, 1]
         return np.diag(self.output_phases) @ u
 
     def propagate(self, fields: np.ndarray) -> np.ndarray:
@@ -107,6 +222,35 @@ class MZIMesh:
             Shape ``(n,)`` for one wavelength or ``(n, p)`` for ``p``
             wavelengths carried simultaneously (WDM); every wavelength sees
             the same broadband MZI transformation (Section 2.2).
+
+        One batched 2x2 matmul per physical column replaces the per-MZI
+        Python loop (kept as :meth:`_reference_propagate`); the batched
+        form is bit-identical, not merely close — see DESIGN.md §13.
+        """
+        out = np.asarray(fields, dtype=complex).copy()
+        if out.shape[0] != self.n:
+            raise ValueError(
+                f"expected leading dimension {self.n}, got {out.shape[0]}")
+        vector = out.ndim == 1
+        for top, transfers in self._propagation_plan():
+            if vector:
+                pairs = np.stack((out[top], out[top + 1]), axis=1)[..., None]
+                mixed = np.matmul(transfers, pairs)[..., 0]  # (k, 2)
+            else:
+                pairs = np.stack((out[top], out[top + 1]), axis=1)
+                mixed = np.matmul(transfers, pairs)  # (k, 2, p)
+            out[top] = mixed[:, 0]
+            out[top + 1] = mixed[:, 1]
+        phases = self.output_phases
+        if out.ndim > 1:
+            phases = phases[:, np.newaxis]
+        return phases * out
+
+    def _reference_propagate(self, fields: np.ndarray) -> np.ndarray:
+        """Per-MZI propagation oracle (the pre-vectorization loop).
+
+        Kept verbatim so property tests can assert the columnized
+        :meth:`propagate` reproduces it exactly.
         """
         out = np.asarray(fields, dtype=complex).copy()
         if out.shape[0] != self.n:
@@ -130,8 +274,17 @@ class MZIMesh:
         broadcast source has several connected outputs; for splitting paths the
         count is the worst (deepest) branch.  Used for per-path loss
         accounting (Section 5.2).
+
+        The result is memoized until the next phase write (the fabric
+        asks three times per reconfiguration) and returned as a shared
+        read-only array — copy before mutating.
         """
-        return _trace_hops(self)
+        hops = getattr(self, "_hops", None)
+        if hops is None:
+            hops = _trace_hops(self)
+            hops.setflags(write=False)
+            object.__setattr__(self, "_hops", hops)
+        return hops
 
     def column_of(self, index: int) -> int:
         """Physical column of the ``index``-th MZI in propagation order."""
@@ -139,7 +292,43 @@ class MZIMesh:
 
 
 def _trace_hops(mesh: MZIMesh) -> np.ndarray:
-    """Exact per-path MZI counts via per-input power tracing."""
+    """Exact per-path MZI counts via power tracing, all inputs at once.
+
+    Vectorizes :func:`_reference_trace_hops` across the ``n`` input
+    ports: ``power[mode, source]`` starts as the identity and every MZI
+    mixes its two mode rows with one batched 2x2 matmul.  The batched
+    matmul produces bit-identical powers to the reference's per-input
+    ``t @ power[m:m+2]``, so the thresholded integer hop counts are
+    exactly equal (asserted by the property tests).
+    """
+    n = mesh.n
+    power = np.eye(n)
+    count = np.zeros((n, n), dtype=int)
+    for mzi in mesh.mzis:
+        m = mzi.top_mode
+        p0 = power[m]
+        p1 = power[m + 1]
+        active = (p0 + p1) > 1e-15
+        if not active.any():
+            continue
+        t = np.abs(mzi.transfer) ** 2
+        pairs = np.stack((p0, p1), axis=1)[..., None]  # (n, 2, 1)
+        mixed = np.matmul(t, pairs)[..., 0]            # (n, 2)
+        # The MZI hop count carried forward is the power-weighted depth.
+        depth = np.maximum(np.where(p0 > 1e-15, count[m], 0),
+                           np.where(p1 > 1e-15, count[m + 1], 0)) + 1
+        new0 = np.where(active, mixed[:, 0], p0)
+        new1 = np.where(active, mixed[:, 1], p1)
+        count[m] = np.where(active & (new0 > 1e-15), depth, count[m])
+        count[m + 1] = np.where(active & (new1 > 1e-15), depth,
+                                count[m + 1])
+        power[m] = new0
+        power[m + 1] = new1
+    return np.where(power > 1e-12, count, -1)
+
+
+def _reference_trace_hops(mesh: MZIMesh) -> np.ndarray:
+    """Per-input hop-tracing oracle (the pre-vectorization loop)."""
     n = mesh.n
     hops = -np.ones((n, n), dtype=int)
     for i in range(n):
@@ -163,6 +352,46 @@ def _trace_hops(mesh: MZIMesh) -> np.ndarray:
             if power[o] > 1e-12:
                 hops[o, i] = count[o]
     return hops
+
+
+def _disjoint_batches(mzis: list[MZIState],
+                      n: int) -> list[list[MZIState]]:
+    """Group propagation-order MZIs into mode-disjoint batches.
+
+    Prefers the physical column assignment (:func:`_assign_columns`
+    guarantees strictly increasing columns along every shared mode, so
+    applying whole columns in ascending order feeds every MZI exactly
+    the operands the propagation-order loop would).  Hand-built meshes
+    without a consistent assignment fall back to greedy segmentation:
+    cut a new batch whenever an incoming MZI touches a mode already
+    used in the current one.
+    """
+    last_col = [-1] * n
+    by_col: dict[int, list[MZIState]] = {}
+    for mzi in mzis:
+        col = mzi.column
+        m = mzi.top_mode
+        if col < 0 or col <= last_col[m] or col <= last_col[m + 1]:
+            break  # inconsistent columns: fall back to segmentation
+        last_col[m] = last_col[m + 1] = col
+        by_col.setdefault(col, []).append(mzi)
+    else:
+        return [by_col[col] for col in sorted(by_col)]
+    batches: list[list[MZIState]] = []
+    current: list[MZIState] = []
+    used: set[int] = set()
+    for mzi in mzis:
+        m = mzi.top_mode
+        if m in used or m + 1 in used:
+            batches.append(current)
+            current = []
+            used = set()
+        current.append(mzi)
+        used.add(m)
+        used.add(m + 1)
+    if current:
+        batches.append(current)
+    return batches
 
 
 def _assign_columns(mzis: list[MZIState], n: int) -> list[MZIState]:

@@ -184,7 +184,7 @@ class FlumenFabric:
         if hi > host.hi:
             raise FabricError(
                 f"[{lo},{hi}) crosses partition boundary at {host.hi}")
-        if any(lo < dst + host.lo < hi or lo < src + host.lo < hi
+        if any(lo <= dst + host.lo < hi or lo <= src + host.lo < hi
                for src, dst in host.comm_pairs.items()):
             # Pairs using ports inside the new partition are torn down; the
             # control unit re-requests them (handled by the scheduler).

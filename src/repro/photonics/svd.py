@@ -10,7 +10,9 @@ result back after detection.
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -78,25 +80,88 @@ def spectral_scale(matrix: np.ndarray) -> float:
     return norm if norm > 0.0 else 1.0
 
 
+#: Content-hash cache of programmed SVD circuits.  Repeated offloads of
+#: the same workload matrix (every sweep point re-programs the same
+#: blocks) skip the SVD + double Clements decomposition entirely.
+_SVD_CACHE: OrderedDict[tuple, SVDProgram] = OrderedDict()
+_SVD_CACHE_CAPACITY = 128
+_svd_cache_hits = 0
+_svd_cache_misses = 0
+
+
+def _matrix_key(m: np.ndarray) -> tuple:
+    digest = hashlib.sha256(np.ascontiguousarray(m).tobytes()).hexdigest()
+    return (m.shape, digest)
+
+
+def _fresh_mesh(mesh: MZIMesh) -> MZIMesh:
+    """An independent copy of a cached mesh.
+
+    Callers mutate programmed meshes in place (attenuator equalization,
+    fault injection replace ``mzis[i]``), so cache entries must never be
+    handed out directly.  MZI states are frozen — sharing them is safe;
+    the list and the phase screen are copied.
+    """
+    copy = MZIMesh(n=mesh.n, mzis=list(mesh.mzis))
+    copy.output_phases = mesh.output_phases.copy()
+    return copy
+
+
+def svd_cache_stats() -> dict:
+    """Hit/miss/size counters for the :func:`program_svd` memo."""
+    return {"hits": _svd_cache_hits, "misses": _svd_cache_misses,
+            "size": len(_SVD_CACHE), "capacity": _SVD_CACHE_CAPACITY}
+
+
+def clear_svd_cache() -> None:
+    """Drop all memoized SVD programs and reset the counters."""
+    global _svd_cache_hits, _svd_cache_misses
+    _SVD_CACHE.clear()
+    _svd_cache_hits = 0
+    _svd_cache_misses = 0
+
+
 def program_svd(matrix: np.ndarray) -> SVDProgram:
     """Program an ``N x N`` SVD MZIM to implement ``matrix``.
 
     The matrix must be square (pad with :func:`repro.core.accelerator.pad_to_blocks`
     first); it may be complex.  Raises ``ValueError`` for non-square input.
+
+    Programs are memoized by matrix content hash (LRU, 128 entries);
+    every call returns a fresh :class:`SVDProgram` with independent
+    meshes so in-place mutation cannot poison the cache.
     """
+    global _svd_cache_hits, _svd_cache_misses
     m = np.asarray(matrix, dtype=complex)
     if m.ndim != 2 or m.shape[0] != m.shape[1]:
         raise ValueError(f"SVD MZIM needs a square matrix, got {m.shape}")
-    n = m.shape[0]
-    scale = spectral_scale(m)
-    u, sigma, v_dagger = np.linalg.svd(m / scale)
-    sigma = np.clip(sigma, 0.0, 1.0)  # numerical guard: sigma_max == 1
+    key = _matrix_key(m)
+    cached = _SVD_CACHE.get(key)
+    if cached is not None:
+        _SVD_CACHE.move_to_end(key)
+        _svd_cache_hits += 1
+    else:
+        _svd_cache_misses += 1
+        n = m.shape[0]
+        scale = spectral_scale(m)
+        u, sigma, v_dagger = np.linalg.svd(m / scale)
+        sigma = np.clip(sigma, 0.0, 1.0)  # numerical guard: sigma_max == 1
+        cached = SVDProgram(
+            n=n,
+            v_dagger_mesh=decompose(v_dagger),
+            u_mesh=decompose(u),
+            sigma=sigma,
+            scale=scale,
+        )
+        _SVD_CACHE[key] = cached
+        while len(_SVD_CACHE) > _SVD_CACHE_CAPACITY:
+            _SVD_CACHE.popitem(last=False)
     return SVDProgram(
-        n=n,
-        v_dagger_mesh=decompose(v_dagger),
-        u_mesh=decompose(u),
-        sigma=sigma,
-        scale=scale,
+        n=cached.n,
+        v_dagger_mesh=_fresh_mesh(cached.v_dagger_mesh),
+        u_mesh=_fresh_mesh(cached.u_mesh),
+        sigma=cached.sigma.copy(),
+        scale=cached.scale,
     )
 
 

@@ -79,6 +79,29 @@ class TestPartitioning:
         with pytest.raises(FabricError):
             fab.split(2, 6)
 
+    def test_split_tears_down_pair_with_endpoint_exactly_at_lo(self):
+        # Regression: the teardown guard used a strict ``lo <`` bound,
+        # so a comm pair whose src or dst sat exactly on the new
+        # partition's lower boundary survived on the host partition —
+        # stale routing state for anyone (the control unit) holding the
+        # partition reference across the split.
+        fab = make_fabric(8)
+        fab.configure_communication({2: 6, 0: 1})
+        host = fab.partitions[0]
+        fab.split(2, 4)  # src 2 sits exactly at lo
+        assert 2 not in host.comm_pairs
+        assert host.comm_mesh is None
+        # Same for a destination landing exactly on lo, on an offset
+        # host partition (exercises the local->global conversion).
+        fab = make_fabric(8)
+        fab.split(0, 2)
+        fab.configure_communication({7: 4})
+        host = fab.partitions[-1]
+        assert host.comm_pairs  # pair registered, local numbering
+        fab.split(4, 6)  # dst 4 sits exactly at lo
+        assert not host.comm_pairs
+        assert host.comm_mesh is None
+
     def test_barrier_rows_track_partitions(self):
         fab = make_fabric(8)
         fab.split(4, 8)

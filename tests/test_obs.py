@@ -73,6 +73,71 @@ class TestMetricsRegistry:
             return json.dumps(reg.to_dict(), sort_keys=True)
         assert build() == build()
 
+    def test_timer_statistics(self):
+        reg = MetricsRegistry()
+        t = reg.timer("engine.run_seconds", task="system_point")
+        t.observe(0.5)
+        t.observe(1.5)
+        assert t.count == 2
+        assert t.mean_s == pytest.approx(1.0)
+        full = t.to_dict(wall_time=True)
+        assert full == {"count": 2, "sum_s": pytest.approx(2.0),
+                        "mean_s": pytest.approx(1.0),
+                        "min_s": pytest.approx(0.5),
+                        "max_s": pytest.approx(1.5)}
+        assert reg.timer("engine.run_seconds",
+                         task="system_point") is t
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.timer("phase").time():
+            pass
+        t = reg.timer("phase")
+        assert t.count == 1
+        assert t.total_s >= 0.0
+
+    def test_timer_default_snapshot_is_count_only(self):
+        # Wall-clock values are machine-dependent; the default snapshot
+        # (what metrics.jsonl serializes) must stay byte-deterministic.
+        reg = MetricsRegistry()
+        reg.timer("noc.run_seconds", topology="flumen").observe(0.123)
+        snap = reg.to_dict()
+        assert snap["timers"]["noc.run_seconds{topology=flumen}"] \
+            == {"count": 1}
+        wall = reg.to_dict(wall_time=True)
+        assert wall["timers"]["noc.run_seconds{topology=flumen}"][
+            "sum_s"] == pytest.approx(0.123)
+
+    def test_kernel_run_records_timer(self):
+        from repro.noc.network import Network
+        from repro.noc.topology import make_topology
+        from repro.noc.traffic import TrafficGenerator
+
+        obs = Obs.active()
+        net = Network(make_topology("mesh", 16), obs=obs)
+        net.run(TrafficGenerator(16, "uniform", 0.1, seed=2),
+                cycles=200, drain=True)
+        t = obs.metrics.timer("noc.run_seconds", topology="mesh")
+        assert t.count == 1
+        assert t.total_s > 0.0
+        # The run also lands on the trace timeline as a complete span.
+        spans = [e for e in obs.tracer.events
+                 if e.get("name") == "run:mesh"]
+        assert len(spans) == 1
+
+    def test_engine_run_records_timer(self):
+        from repro.analysis.engine import PointSpec, SweepEngine
+
+        obs = Obs.active()
+        engine = SweepEngine(jobs=1, cache=None, obs=obs)
+        engine.run("system_point",
+                   [PointSpec(key="p", params={
+                       "workload": "rotation3d", "configuration": "mesh",
+                       "shapes": "small"})],
+                   base_seed=17)
+        t = obs.metrics.timer("engine.run_seconds", task="system_point")
+        assert t.count == 1
+
 
 class TestCycleTracer:
     def test_layers_map_to_pids(self):
