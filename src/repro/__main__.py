@@ -383,12 +383,25 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     perf.write_artifact(payload, out)
     emit(f"wrote {out}")
 
+    def write_summary(delta_rows=None, baseline_rev=None) -> None:
+        if not args.summary_md:
+            return
+        markdown = perf.markdown_summary(
+            payload, delta_rows, baseline_rev=baseline_rev,
+            tolerance=None if delta_rows is None else args.tolerance)
+        # Append, not overwrite: $GITHUB_STEP_SUMMARY accumulates
+        # sections from every step of a job.
+        with open(args.summary_md, "a") as handle:
+            handle.write(markdown)
+        emit(f"appended markdown summary to {args.summary_md}")
+
     baseline_path = Path(args.baseline)
     if not baseline_path.exists():
         if args.check:
             log.error("baseline %s not found; cannot --check", baseline_path)
             return 2
         emit(f"no baseline at {baseline_path}; skipping comparison")
+        write_summary()
         return 0
     baseline = json.loads(baseline_path.read_text())
     delta_rows, failures = perf.compare_to_baseline(
@@ -399,9 +412,13 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         delta_rows,
         title=f"vs {baseline_path} (rev {baseline.get('rev', '?')}, "
               f"tolerance {args.tolerance:g}x)"))
+    write_summary(delta_rows, baseline.get("rev", "?"))
     for failure in failures:
         log.error("%s", failure)
-    if failures and args.check:
+    # A supplied baseline is a contract: digest mismatches and blown
+    # timing budgets fail the run whether or not --check was passed
+    # (--check additionally hard-fails when the baseline is missing).
+    if failures:
         return 1
     return 0
 
@@ -526,11 +543,16 @@ def main(argv: list[str] | None = None) -> int:
                           "BENCH_baseline.json; skipped if missing "
                           "unless --check)")
     prf.add_argument("--check", action="store_true",
-                     help="nonzero exit on digest mismatch or wall "
-                          "time beyond tolerance (requires baseline)")
+                     help="require the baseline to exist (digest "
+                          "mismatches and blown timing budgets always "
+                          "exit nonzero when a baseline is compared)")
     prf.add_argument("--tolerance", type=float, default=2.0,
                      help="allowed wall-clock ratio vs baseline "
                           "(default: 2.0; digests are always strict)")
+    prf.add_argument("--summary-md", default=None, metavar="PATH",
+                     help="append a markdown report (suite table + "
+                          "baseline trend) to PATH — in CI, pass "
+                          "\"$GITHUB_STEP_SUMMARY\"")
 
     args = parser.parse_args(argv)
     logging.basicConfig(

@@ -139,29 +139,105 @@ def _bench_svd_cache(n: int, small: bool) -> dict:
     }
 
 
-def _bench_noc_idle(small: bool) -> dict:
-    from repro.noc.network import Network
-    from repro.noc.topology import make_topology
-    from repro.noc.traffic import TrafficGenerator
+def _run_noc_kernel(topology: str, nodes: int, traffic_fn, cycles: int,
+                    warmup: int, vectorized: bool) -> tuple[float, dict]:
+    """One timed network run; returns (wall seconds, output summary)."""
+    from repro.noc.simulation import make_network
 
-    nodes, cycles, load = 64, 2500, 0.02
-    net = Network(make_topology("mesh", nodes))
-    traffic = TrafficGenerator(nodes, "uniform", load, seed=5)
+    net = make_network(topology, nodes, vectorized=vectorized)
+    traffic = traffic_fn()
     t0 = time.perf_counter()
-    net.run(traffic, cycles=cycles, warmup=cycles // 3, drain=True)
+    net.run(traffic, cycles=cycles, warmup=warmup, drain=True)
     wall = time.perf_counter() - t0
     summary = {
         "latency": net.latency.to_dict(),
         "injected": net.injected_packets,
         "flit_hops": net.flit_hops,
+        "link_traversals": net.link_traversals,
         "cycles": net.cycle,
+        "utilization": net.utilization.to_dict(),
     }
+    return wall, summary
+
+
+def _bench_noc_kernel(topology: str, nodes: int, traffic_fn, cycles: int,
+                      warmup: int, meta: dict) -> dict:
+    """SoA-vs-oracle kernel bench: both legs run, outputs must agree.
+
+    Like :func:`_bench_propagate` on the photonic side, the speedup is
+    measured in-run against the per-object oracle on the same machine,
+    and the record's digest covers output both implementations produced
+    identically — a silent divergence fails the bench itself.
+    """
+    wall, summary = _run_noc_kernel(topology, nodes, traffic_fn,
+                                    cycles, warmup, vectorized=True)
+    ref_wall, ref_summary = _run_noc_kernel(topology, nodes, traffic_fn,
+                                            cycles, warmup,
+                                            vectorized=False)
+    if summary != ref_summary:
+        raise RuntimeError(
+            f"{topology} SoA kernel diverged from the per-object oracle: "
+            f"{_digest_json(summary)[:12]} != "
+            f"{_digest_json(ref_summary)[:12]}")
     return {
         "wall_s": wall,
-        "meta": {"nodes": nodes, "cycles": cycles, "load": load,
-                 "topology": "mesh"},
+        "per_call_s": wall / cycles,
+        "reference_per_call_s": ref_wall / cycles,
+        "speedup_vs_reference": ref_wall / wall if wall > 0 else float("inf"),
+        "meta": meta,
         "digest": _digest_json(summary),
     }
+
+
+def _bench_noc_idle(small: bool) -> dict:
+    from repro.noc.traffic import TrafficGenerator
+
+    nodes, cycles, load = 64, 2500, 0.02
+    return _bench_noc_kernel(
+        "mesh", nodes,
+        lambda: TrafficGenerator(nodes, "uniform", load, seed=5),
+        cycles, cycles // 3,
+        meta={"nodes": nodes, "cycles": cycles, "load": load,
+              "topology": "mesh"})
+
+
+def _bench_noc_step(small: bool) -> dict:
+    """Busy-network per-cycle stepping cost (no idle to skip)."""
+    from repro.noc.traffic import TrafficGenerator
+
+    nodes, cycles, load = 16, 4000, 0.8
+    return _bench_noc_kernel(
+        "mesh", nodes,
+        lambda: TrafficGenerator(nodes, "uniform", load, seed=5),
+        cycles, cycles // 8,
+        meta={"nodes": nodes, "cycles": cycles, "load": load,
+              "topology": "mesh"})
+
+
+def _bench_noc_trace(small: bool) -> dict:
+    """Bursty trace replay: the system model's NoP usage pattern.
+
+    Packet bursts separated by long quiescent stretches — the shape
+    workload-derived traces take.  The SoA backends fast-forward the
+    idle stretches (the oracle steps them one by one), so this is where
+    the kernel restructuring pays off end-to-end.
+    """
+    from repro.noc.traffic import TracePlayback
+
+    nodes, bursts, gap = 16, 24, 2500
+    events = []
+    for b in range(bursts):
+        start = b * gap
+        for i in range(40):
+            src = (i * 5 + b) % nodes
+            dst = (i * 11 + 3 * b + 7) % nodes
+            events.append((start + i // 8, src, dst, 3))
+    cycles = bursts * gap
+    return _bench_noc_kernel(
+        "mesh", nodes, lambda: TracePlayback(list(events)),
+        cycles, gap,
+        meta={"nodes": nodes, "bursts": bursts, "gap": gap,
+              "cycles": cycles, "topology": "mesh"})
 
 
 # ----------------------------------------------------------------------
@@ -170,17 +246,42 @@ def _bench_noc_idle(small: bool) -> dict:
 
 
 def _bench_sweep(workloads: list[str], configs: list[str]) -> dict:
-    points = [PointSpec(key=f"{wl}/{cfg}",
-                        params={"workload": wl, "configuration": cfg,
-                                "shapes": "small"})
-              for wl in workloads for cfg in configs]
+    """System sweep through the engine, plus a per-object-oracle leg.
+
+    The grid runs twice: once on the default (struct-of-arrays) NoP
+    backends and once pinned to the per-object oracles.  Every metric of
+    every point must match exactly — the sweep bench doubles as the
+    end-to-end bit-identity check — and the record reports the measured
+    in-run speedup alongside the digest.
+    """
+    def grid(vectorized: bool | None):
+        extra = {} if vectorized is None else {"vectorized": vectorized}
+        return [PointSpec(key=f"{wl}/{cfg}",
+                          params={"workload": wl, "configuration": cfg,
+                                  "shapes": "small", **extra})
+                for wl in workloads for cfg in configs]
+
     engine = SweepEngine(jobs=1, cache=None)
-    run = engine.run("system_point", points, base_seed=17)
+    run = engine.run("system_point", grid(None), base_seed=17)
     if run.failed_results():
         raise RuntimeError(
             f"sweep benchmark failed: {run.failed_results()[0].error}")
+    ref_run = engine.run("system_point", grid(False), base_seed=17)
+    if ref_run.failed_results():
+        raise RuntimeError(f"sweep reference leg failed: "
+                           f"{ref_run.failed_results()[0].error}")
+    if run.metrics() != ref_run.metrics():
+        raise RuntimeError(
+            "sweep metrics diverged between the struct-of-arrays "
+            "backends and the per-object oracles")
+    wall = run.telemetry.duration_s
+    ref_wall = ref_run.telemetry.duration_s
+    points = len(run.results)
     return {
-        "wall_s": run.telemetry.duration_s,
+        "wall_s": wall,
+        "per_call_s": wall / points,
+        "reference_per_call_s": ref_wall / points,
+        "speedup_vs_reference": ref_wall / wall if wall > 0 else float("inf"),
         "meta": {"workloads": workloads, "configs": configs,
                  "shapes": "small", "base_seed": 17},
         "digest": _digest_json(run.records()),
@@ -193,9 +294,51 @@ def _bench_sweep_2x2(small: bool) -> dict:
 
 def _bench_sweep_full(small: bool) -> dict:
     from repro.core.pipelines import configuration_names
-    from repro.workloads import paper_workloads
-    return _bench_sweep([wl.name for wl in paper_workloads()],
-                        list(configuration_names()))
+    from repro.workloads import WORKLOAD_NAMES
+    return _bench_sweep(list(WORKLOAD_NAMES), list(configuration_names()))
+
+
+def _bench_mvm_batch(small: bool) -> dict:
+    """Fleet-wide stacked MVM dispatch vs. sequential block evaluation.
+
+    A fleet of block-matmul offloads (the matrix-memory contents of
+    several cores) runs once through :func:`block_matmul_many` — one
+    stacked ``(B, k, 2, 2)`` kernel pass — and once block-by-block.
+    Outputs must agree bit-for-bit; the record reports the measured
+    stacking speedup.
+    """
+    from repro.core.accelerator import BlockMatmul, block_matmul_many
+
+    fleet, size, q = 8, 16, 16
+    rng = np.random.default_rng(23)
+    jobs = [(BlockMatmul(rng.normal(size=(size, size)), mzim_size=8),
+             rng.normal(size=(size, q)))
+            for _ in range(fleet)]
+    reps = 20 if small else 60
+
+    def batched():
+        return block_matmul_many(jobs)
+
+    def sequential():
+        return [matmul(vectors, batched=False)
+                for matmul, vectors in jobs]
+
+    got, want = batched(), sequential()
+    for g, w in zip(got, want):
+        if not np.array_equal(g, w):
+            raise RuntimeError(
+                "stacked MVM dispatch diverged from sequential evaluation")
+    vec_s = _time_calls(batched, reps)
+    ref_s = _time_calls(sequential, max(2, reps // 5))
+    return {
+        "wall_s": vec_s * reps,
+        "per_call_s": vec_s,
+        "reference_per_call_s": ref_s,
+        "speedup_vs_reference": ref_s / vec_s if vec_s > 0 else float("inf"),
+        "meta": {"fleet": fleet, "size": size, "vectors": q,
+                 "mzim_size": 8, "reps": reps},
+        "digest": _digest_array(np.concatenate([g.ravel() for g in got])),
+    }
 
 
 def _bench_fault_smoke(small: bool) -> dict:
@@ -232,6 +375,9 @@ BENCHMARKS: list[tuple[str, bool, object]] = [
     ("svd_program_cache/n16", True,
      lambda small: _bench_svd_cache(16, small)),
     ("noc_idle_run/mesh64", True, _bench_noc_idle),
+    ("noc_step/mesh16_load08", True, _bench_noc_step),
+    ("noc_trace_replay/mesh16_bursty", True, _bench_noc_trace),
+    ("mvm_batch/fleet8_16x16", True, _bench_mvm_batch),
     ("sweep_small/2x2", True, _bench_sweep_2x2),
     ("sweep_small/full_grid", False, _bench_sweep_full),
     ("faults_smoke/stuck_mzi", True, _bench_fault_smoke),
@@ -279,6 +425,47 @@ def write_artifact(payload: dict, path: str | Path) -> Path:
 
 def default_artifact_path() -> str:
     return f"BENCH_{code_version()[:12]}.json"
+
+
+def markdown_summary(payload: dict,
+                     delta_rows: list[list] | None = None,
+                     baseline_rev: str | None = None,
+                     tolerance: float | None = None) -> str:
+    """GitHub-flavored markdown report of a suite run.
+
+    The CI perf job appends this to ``$GITHUB_STEP_SUMMARY`` so the
+    trend against ``BENCH_baseline.json`` shows up on the workflow page
+    without digging into artifacts.  ``delta_rows`` is
+    :func:`compare_to_baseline` output; omit it when no baseline was
+    available and only the current measurements are reported.
+    """
+    lines = [f"## Perf suite `{payload['suite']}` @ `{payload['rev']}`", ""]
+    lines += ["| benchmark | wall (s) | per call (ms) | vs reference |",
+              "|---|---:|---:|---:|"]
+    for name, record in payload["benchmarks"].items():
+        per_call = record.get("per_call_s")
+        speedup = record.get("speedup_vs_reference")
+        lines.append(
+            f"| {name} | {record['wall_s']:.3f} "
+            f"| {'-' if per_call is None else f'{per_call * 1e3:.3f}'} "
+            f"| {'-' if speedup is None else f'{speedup:.2f}x'} |")
+    lines.append("")
+    if delta_rows is None:
+        lines.append("_No baseline available; nothing to compare against._")
+    else:
+        title = f"### vs baseline @ `{baseline_rev or '?'}`"
+        if tolerance is not None:
+            title += f" (tolerance {tolerance:g}x)"
+        lines += [title, "",
+                  "| benchmark | current (s) | baseline (s) | ratio "
+                  "| status |",
+                  "|---|---:|---:|---:|---|"]
+        for name, cur, ref, ratio, status in delta_rows:
+            flag = "" if status in ("ok", "new (no baseline)") else " ⚠️"
+            lines.append(f"| {name} | {cur} | {ref} | {ratio} "
+                         f"| {status}{flag} |")
+    lines.append("")
+    return "\n".join(lines)
 
 
 def compare_to_baseline(current: dict, baseline: dict,

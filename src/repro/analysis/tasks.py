@@ -82,19 +82,10 @@ def _parameter_tables() -> dict:
 
 
 def _find_workload(name: str, shapes: str):
-    from repro.workloads import paper_workloads, small_workloads
-    if shapes == "paper":
-        candidates = paper_workloads()
-    elif shapes == "small":
-        candidates = small_workloads()
-    else:
-        raise ValueError(f"unknown shapes {shapes!r}; "
-                         f"use 'paper' or 'small'")
-    for workload in candidates:
-        if workload.name == name:
-            return workload
-    known = sorted(w.name for w in candidates)
-    raise ValueError(f"unknown workload {name!r}; known: {known}")
+    # Builds only the named workload — constructing all five per sweep
+    # point is measurable (paper-shape weight tensors are megabytes).
+    from repro.workloads import make_workload
+    return make_workload(name, shapes)
 
 
 @register_task("system_point", context=_parameter_tables)
@@ -103,14 +94,18 @@ def system_point(params: dict, seed: int) -> dict:
 
     Params: ``workload`` (name), ``configuration`` (any registered
     pipeline name), ``shapes`` ("paper"/"small", default "paper"),
-    ``traffic_seed`` (optional override of the engine-derived seed).
+    ``traffic_seed`` (optional override of the engine-derived seed),
+    ``vectorized`` (NoP backend selection: absent/None serves the
+    struct-of-arrays twin, ``false`` pins the per-object oracle — the
+    perf suite's equivalence leg uses this).
     """
     # Resolve early so an unknown name fails with the registered list
     # before any simulation work happens.
     configuration = get_configuration(params["configuration"]).name
     workload = _find_workload(params["workload"],
                               params.get("shapes", "paper"))
-    model = SystemModel(traffic_seed=int(params.get("traffic_seed", seed)))
+    model = SystemModel(traffic_seed=int(params.get("traffic_seed", seed)),
+                        vectorized=params.get("vectorized"))
     return run_to_record(model.run(workload, configuration))
 
 

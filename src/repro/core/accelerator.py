@@ -161,13 +161,20 @@ class BlockMatmul:
                             vectors, self.mzim_size, self.wavelengths)
 
     def __call__(self, vectors: np.ndarray,
-                 mvm: "callable | None" = None) -> np.ndarray:
+                 mvm: "callable | None" = None,
+                 batched: bool = True) -> np.ndarray:
         """Compute ``matrix @ vectors`` through the photonic block plan.
 
         ``mvm(program, batch)`` may replace the ideal optical pass (e.g.
         with :class:`repro.photonics.noise.AnalogMVM`); it defaults to the
-        exact SVD propagation.
+        exact SVD propagation.  On the ideal path all block MVMs dispatch
+        through the stacked ``(B, k, 2, 2)`` kernel
+        (:mod:`repro.photonics.batch`), which is bit-identical to the
+        per-block loop; ``batched=False`` pins the sequential oracle so
+        equivalence tests can compare the two.
         """
+        if mvm is None and batched:
+            return block_matmul_many([(self, vectors)])[0]
         vectors = np.asarray(vectors, dtype=float)
         squeeze = vectors.ndim == 1
         batch = pad_vectors(vectors, self.mzim_size)
@@ -193,6 +200,54 @@ class BlockMatmul:
             out[bi * n:(bi + 1) * n, :] = acc
         result = out[:self.matrix.shape[0], :]
         return result[:, 0] if squeeze else result
+
+
+def block_matmul_many(
+        jobs: "list[tuple[BlockMatmul, np.ndarray]]") -> list[np.ndarray]:
+    """Evaluate many block matmuls through one fleet-wide stacked dispatch.
+
+    Gathers every non-zero block MVM of every job — the unit of work one
+    optical pass performs — and hands the whole fleet to
+    :func:`repro.photonics.batch.apply_jobs`, which stacks
+    layout-compatible units into single ``(B, k, 2, 2)`` kernel passes.
+    Per-job block partials are then accumulated in the same
+    ``bj``-ascending order as the sequential loop, so each result is
+    bit-identical to ``job(vectors, batched=False)``.
+    """
+    from repro.photonics.batch import apply_jobs
+
+    prepared = []  # (matmul, padded batch, squeeze flag) per job
+    payloads = []  # (program, chunk) per block unit, fleet-wide
+    units = []  # (job index, bi) addressing each payload's partial sum
+    for job_idx, (matmul, vectors) in enumerate(jobs):
+        vectors = np.asarray(vectors, dtype=float)
+        squeeze = vectors.ndim == 1
+        batch = pad_vectors(vectors, matmul.mzim_size)
+        prepared.append((matmul, batch, squeeze))
+        n = matmul.mzim_size
+        for bi in range(matmul.block_rows):
+            for bj in range(matmul.block_cols):
+                program = matmul.programs.get((bi, bj))
+                if program is None:  # all-zero block
+                    continue
+                payloads.append(
+                    (program, batch[bj * n:(bj + 1) * n, :].astype(complex)))
+                units.append((job_idx, bi))
+    partials = apply_jobs(payloads)
+
+    accs = [np.zeros((matmul.block_rows * matmul.mzim_size, batch.shape[1]))
+            for matmul, batch, _ in prepared]
+    # Units were gathered bj-ascending per (job, bi), so this walk adds
+    # block partials in exactly the sequential loop's order — float
+    # addition is order-sensitive, and bit-identity depends on it.
+    for (job_idx, bi), partial in zip(units, partials):
+        n = prepared[job_idx][0].mzim_size
+        accs[job_idx][bi * n:(bi + 1) * n, :] += partial.real
+    results = []
+    for (matmul, _, squeeze), acc in zip(prepared, accs):
+        result = acc[:matmul.matrix.shape[0], :]
+        results.append(result[:, 0] if squeeze else result)
+    return results
 
 
 def im2col(volume: np.ndarray, kernel_hw: tuple[int, int],

@@ -25,8 +25,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.config import SystemConfig
-from repro.core.accelerator import BlockMatmul, OffloadPlan
+from repro.core.accelerator import BlockMatmul, OffloadPlan, block_matmul_many
 from repro.noc.flumen_net import FlumenNetwork
 from repro.obs import NULL_OBS, Obs
 
@@ -190,6 +192,16 @@ class HealthMonitor:
         return self.probe(cycle)
 
 
+@dataclass
+class MVMResult:
+    """One completed fleet MVM: which job, whose request, what came out."""
+
+    job_id: int
+    node: int
+    matrix_key: str
+    result: np.ndarray
+
+
 class MZIMControlUnit:
     """Compute-side brain of the Flumen fabric."""
 
@@ -211,10 +223,16 @@ class MZIMControlUnit:
         self.requests_received = 0
         #: Optional fabric health monitor (None = always healthy).
         self.health = health
+        #: Queued numeric MVM jobs awaiting a fleet-wide stacked dispatch:
+        #: ``(job_id, node, matrix_key, vectors)``.
+        self._mvm_queue: list[tuple[int, int, str, np.ndarray]] = []
+        self._mvm_ids = itertools.count()
         self.obs = obs
         self._tracer = obs.tracer
         self._m_offload_accept = obs.metrics.counter("core.offload_accepted")
         self._m_offload_reject = obs.metrics.counter("core.offload_rejected")
+        self._m_mvm_jobs = obs.metrics.counter("core.mvm_jobs")
+        self._m_mvm_flushes = obs.metrics.counter("core.mvm_flushes")
 
     @property
     def fabric_ports(self) -> int:
@@ -253,6 +271,55 @@ class MZIMControlUnit:
                 f"matrix {request.matrix_key!r} must be preloaded into "
                 f"matrix memory before requesting compute (Section 3.3.3)")
         self.enqueue(request)
+
+    # -- fleet-wide MVM dispatch ------------------------------------------
+
+    def queue_mvm(self, matrix_key: str, vectors: np.ndarray,
+                  node: int = 0) -> int:
+        """Queue one numeric MVM job against a preloaded matrix.
+
+        Jobs accumulate until :meth:`flush_mvms`, which executes the whole
+        fleet through one stacked ``(B, k, 2, 2)`` kernel dispatch —
+        concurrent offloads from different cores share a single pass
+        instead of propagating block by block.  Returns the job id.
+        """
+        if matrix_key not in self.matrix_memory:
+            raise KeyError(
+                f"matrix {matrix_key!r} must be preloaded into matrix "
+                f"memory before queueing an MVM (Section 3.3.3)")
+        job_id = next(self._mvm_ids)
+        self._mvm_queue.append((job_id, node, matrix_key,
+                                np.asarray(vectors, dtype=float)))
+        return job_id
+
+    def pending_mvms(self) -> int:
+        """Jobs queued and not yet flushed."""
+        return len(self._mvm_queue)
+
+    def flush_mvms(self) -> list[MVMResult]:
+        """Execute every queued MVM in one fleet-wide stacked dispatch.
+
+        Results come back in submission order and are bit-identical to
+        running each job's :class:`~repro.core.accelerator.BlockMatmul`
+        sequentially (the stacked kernel's oracle contract, DESIGN.md
+        §14).  The queue is emptied even if a job fails.
+        """
+        queue, self._mvm_queue = self._mvm_queue, []
+        if not queue:
+            return []
+        jobs = [(self.matrix_memory.get(key), vectors)
+                for _, _, key, vectors in queue]
+        outputs = block_matmul_many(jobs)
+        self._m_mvm_jobs.inc(len(queue))
+        self._m_mvm_flushes.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "core", "offload", "mvm_flush", self.network.cycle,
+                jobs=len(queue),
+                blocks=sum(len(job.programs) for job, _ in jobs))
+        return [MVMResult(job_id=job_id, node=node, matrix_key=key,
+                          result=result)
+                for (job_id, node, key, _), result in zip(queue, outputs)]
 
     def network_utilization(self, scan_depth: float | None = None) -> float:
         """Utilization feedback broadcast to the chiplets (Section 3.4)."""

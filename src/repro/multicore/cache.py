@@ -47,14 +47,20 @@ class Cache:
         self.line_b = line_b
         self.assoc = assoc
         self.num_sets = size_b // (assoc * line_b)
-        self._sets: list[OrderedDict[int, None]] = [
-            OrderedDict() for _ in range(self.num_sets)]
+        # Sets materialize on first touch: an L3 slice has thousands of
+        # sets, and short streams (the system model builds a fresh
+        # hierarchy per workload phase set) touch a handful.  An absent
+        # set and an empty one behave identically under LRU.
+        self._sets: dict[int, OrderedDict[int, None]] = {}
         self.stats = CacheStats()
 
     def access(self, addr: int) -> bool:
         """Access one byte address; returns True on hit."""
         line = addr // self.line_b
-        s = self._sets[line % self.num_sets]
+        index = line % self.num_sets
+        s = self._sets.get(index)
+        if s is None:
+            s = self._sets[index] = OrderedDict()
         self.stats.accesses += 1
         if line in s:
             s.move_to_end(line)

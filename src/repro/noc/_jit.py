@@ -1,0 +1,63 @@
+"""Optional numba acceleration for the SoA kernel's numeric helpers.
+
+The container may or may not ship numba (it is an optional extra:
+``pip install -e .[jit]``).  When it is importable, the small pure
+numeric kernels below are ``@njit``-compiled; when it is not, the
+identical NumPy/Python definitions run as-is.  Both paths compute the
+same integer arithmetic, so simulation output is bit-identical either
+way — the CI ``kernel-oracle`` job runs the equivalence suite once per
+leg to prove it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only when the numba wheel exists
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - default container path
+    _njit = None
+    HAVE_NUMBA = False
+
+
+def maybe_njit(fn):
+    """``numba.njit(cache=False)`` when available, identity otherwise."""
+    if HAVE_NUMBA:  # pragma: no cover - numba leg only
+        return _njit(fn)
+    return fn
+
+
+@maybe_njit
+def rr_pick(lines: np.ndarray, last: int, n: int) -> int:
+    """Round-robin winner among sparse request ``lines``.
+
+    Equivalent to :meth:`RoundRobinArbiter.grant` over a dense request
+    vector with exactly ``lines`` set: the winner is the line with the
+    smallest rotation distance ``(line - last - 1) mod n`` from the
+    previous grant.
+    """
+    best = lines[0]
+    best_key = (best - last - 1) % n
+    for i in range(1, lines.shape[0]):
+        key = (lines[i] - last - 1) % n
+        if key < best_key:
+            best_key = key
+            best = lines[i]
+    return int(best)
+
+
+@maybe_njit
+def wavefront_ranks(rows: np.ndarray, cols: np.ndarray,
+                    priority: int, n: int) -> np.ndarray:
+    """Wave index of each sparse request cell under ``priority``.
+
+    :meth:`WavefrontArbiter.allocate` visits cell ``(i, j)`` during wave
+    ``((i + j) - priority) mod n``; sorting sparse requests by
+    ``(rank, i)`` reproduces the dense scan order exactly.
+    """
+    out = np.empty(rows.shape[0], dtype=np.int64)
+    for k in range(rows.shape[0]):
+        out[k] = ((rows[k] + cols[k]) - priority) % n
+    return out

@@ -8,6 +8,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.noc._jit import rr_pick, wavefront_ranks
+
 
 class RoundRobinArbiter:
     """Classic rotating-priority arbiter over ``n`` requesters."""
@@ -32,6 +34,25 @@ class RoundRobinArbiter:
                 return idx
         return None
 
+    def grant_sparse(self, lines: Sequence[int]) -> int | None:
+        """Grant among a sparse list of requesting line indices.
+
+        Equivalent to :meth:`grant` over a dense vector with exactly
+        ``lines`` set: the scan from ``_last + 1`` finds the line with
+        the smallest rotation distance ``(line - last - 1) mod n``.
+        Distances are distinct per line, so the minimum is unique.
+        """
+        if not len(lines):
+            return None
+        if len(lines) > 8:
+            idx = rr_pick(np.asarray(lines, dtype=np.int64),
+                          self._last, self.n)
+        else:
+            last, n = self._last, self.n
+            idx = min(lines, key=lambda line: (line - last - 1) % n)
+        self._last = idx
+        return idx
+
 
 class WavefrontArbiter:
     """Wavefront allocator for an ``n x n`` crossbar request matrix.
@@ -48,14 +69,15 @@ class WavefrontArbiter:
         self.n = n
         self._priority = 0
 
-    def rotate(self) -> None:
+    def rotate(self, turns: int = 1) -> None:
         """Advance the priority diagonal without allocating.
 
         :meth:`allocate` rotates on *every* call, requests or not, so an
         idle fast path that skips building an empty request matrix must
-        still rotate to keep later allocations cycle-exact.
+        still rotate to keep later allocations cycle-exact.  ``turns``
+        lets an idle fast-forward apply many skipped cycles at once.
         """
-        self._priority = (self._priority + 1) % self.n
+        self._priority = (self._priority + turns) % self.n
 
     def allocate(self, requests: np.ndarray) -> list[tuple[int, int]]:
         """Grant a conflict-free subset of the request matrix.
@@ -78,6 +100,44 @@ class WavefrontArbiter:
                     grants.append((i, j))
                     row_free[i] = False
                     col_free[j] = False
+        self._priority = (self._priority + 1) % self.n
+        return grants
+
+    def allocate_sparse(self, pairs: Sequence[tuple[int, int]]
+                        ) -> list[tuple[int, int]]:
+        """Allocate a sparse request list without building the matrix.
+
+        Equivalent to :meth:`allocate` on a dense matrix with exactly
+        ``pairs`` set: the dense scan visits cell ``(i, j)`` during wave
+        ``((i + j) - priority) mod n`` and, within a wave, in ascending
+        ``i``; greedily granting the sparse cells in that order yields
+        the same matching, grant order included.  Cost is
+        ``O(k log k)`` in the request count instead of ``O(n^2)``.
+        """
+        if not pairs:
+            self._priority = (self._priority + 1) % self.n
+            return []
+        if len(pairs) > 16:
+            rows = np.fromiter((i for i, _ in pairs), dtype=np.int64,
+                               count=len(pairs))
+            cols = np.fromiter((j for _, j in pairs), dtype=np.int64,
+                               count=len(pairs))
+            ranks = wavefront_ranks(rows, cols, self._priority, self.n)
+            order = sorted(range(len(pairs)),
+                           key=lambda k: (ranks[k], pairs[k][0]))
+            ordered = [pairs[k] for k in order]
+        else:
+            prio, n = self._priority, self.n
+            ordered = sorted(
+                pairs, key=lambda ij: (((ij[0] + ij[1]) - prio) % n, ij[0]))
+        row_used: set[int] = set()
+        col_used: set[int] = set()
+        grants: list[tuple[int, int]] = []
+        for i, j in ordered:
+            if i not in row_used and j not in col_used:
+                grants.append((i, j))
+                row_used.add(i)
+                col_used.add(j)
         self._priority = (self._priority + 1) % self.n
         return grants
 

@@ -84,6 +84,27 @@ class SimKernel:
         """Flits resident in any queue, buffer, or in-flight structure."""
         raise NotImplementedError
 
+    # -- idle fast-forward ------------------------------------------------
+
+    #: Backends whose quiescent ``step()`` provably touches nothing but
+    #: the cycle counter, utilization intervals, and (backend-declared)
+    #: arbiter rotation set this True and implement :meth:`_skip_idle`.
+    _supports_idle_skip = False
+
+    def _skip_idle(self, idle_cycles: int) -> None:
+        """Apply ``idle_cycles`` of quiescent stepping in one jump.
+
+        Must leave the backend in exactly the state ``idle_cycles``
+        plain ``step()`` calls with no traffic would — including any
+        per-cycle arbiter rotation the backend performs while idle.
+        """
+        raise NotImplementedError
+
+    def _advance_idle(self, idle_cycles: int) -> None:
+        """Kernel-side bookkeeping shared by every ``_skip_idle``."""
+        self.cycle += idle_cycles
+        self.utilization.record_idle_cycles(idle_cycles)
+
     # -- traffic ---------------------------------------------------------
 
     def offer_packet(self, packet: Packet) -> None:
@@ -116,15 +137,34 @@ class SimKernel:
         ``traffic`` provides ``packets_for_cycle(cycle)``.  With ``drain``
         the simulation continues (without new injection) until every
         in-flight packet is delivered or the drain budget runs out.
+
+        When the backend supports idle fast-forward, tracing is off, and
+        the traffic source can name its next event cycle (trace playback
+        can; random generators draw RNG every cycle and cannot), runs of
+        quiescent cycles collapse into one ``_skip_idle`` jump.  Every
+        observable — cycle counts, utilization timeline, latencies,
+        arbiter state at the next busy cycle — is identical either way.
         """
         self.latency.warmup_cycles = warmup
         start_cycle = self.cycle
         wall_start = time.perf_counter()
         self._begin_run()
-        for _ in range(cycles):
+        fast_forward = (self._supports_idle_skip
+                        and not self._tracer.enabled
+                        and hasattr(traffic, "next_event_cycle"))
+        remaining = cycles
+        while remaining > 0:
             for packet in traffic.packets_for_cycle(self.cycle):
                 self.offer_packet(packet)
             self.step()
+            remaining -= 1
+            if remaining > 0 and fast_forward and self.quiescent():
+                nxt = traffic.next_event_cycle(self.cycle)
+                idle = remaining if nxt is None \
+                    else min(remaining, nxt - self.cycle)
+                if idle > 0:
+                    self._skip_idle(idle)
+                    remaining -= idle
         if drain:
             budget = max_drain_cycles
             while not self.quiescent() and budget > 0:

@@ -19,13 +19,18 @@ from repro.noc.traffic import TrafficGenerator
 TOPOLOGIES = ("ring", "mesh", "optbus", "flumen")
 
 
-def make_network(name: str, nodes: int = 16, **kwargs):
+def make_network(name: str, nodes: int = 16,
+                 vectorized: bool | None = None, **kwargs):
     """Build a ready-to-run network of any registered topology.
 
     Resolution goes through :mod:`repro.noc.registry`; an unknown name
     raises a :class:`ValueError` listing the currently-registered set.
+    ``vectorized=None`` serves the struct-of-arrays backend when one is
+    registered; ``False`` forces the per-object oracle (the equivalence
+    suite and byte-identity checks use this), ``True`` requires the
+    vectorized twin.
     """
-    return backend_factory(name)(nodes, **kwargs)
+    return backend_factory(name, vectorized=vectorized)(nodes, **kwargs)
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,23 @@ class UtilizationTracker:
         if self._cycle_in_interval == self.interval_cycles:
             self._flush()
 
+    def record_idle_cycles(self, idle_cycles: int) -> None:
+        """Account ``idle_cycles`` consecutive all-idle cycles at once.
+
+        Equivalent to ``record_cycle(0)`` called ``idle_cycles`` times —
+        interval boundaries fall at the same cycles, the same fractions
+        land on the timeline, and ``on_flush`` fires per interval — but
+        in O(intervals crossed) instead of O(cycles).  Backends' idle
+        fast-forward uses this to keep utilization output byte-exact.
+        """
+        while idle_cycles > 0:
+            room = self.interval_cycles - self._cycle_in_interval
+            chunk = min(idle_cycles, room)
+            self._cycle_in_interval += chunk
+            idle_cycles -= chunk
+            if self._cycle_in_interval == self.interval_cycles:
+                self._flush()
+
     def _flush(self) -> None:
         if self._cycle_in_interval and self.num_links:
             self.timeline.append(

@@ -204,6 +204,20 @@ class TracePlayback:
             self.generated += 1
         return created
 
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Cycle of the next unplayed event, or None when exhausted.
+
+        Declares this source idle-skippable: unlike a random generator
+        (which draws RNG every cycle and so must be stepped through
+        every cycle), a trace knows exactly when its next packet lands,
+        letting :meth:`SimKernel.run` fast-forward quiescent stretches.
+        The ``cycle`` argument is the caller's current cycle; all events
+        at or before it have already been played.
+        """
+        if self._pos >= len(self.events):
+            return None
+        return self.events[self._pos][0]
+
     @property
     def exhausted(self) -> bool:
         return self._pos >= len(self.events)

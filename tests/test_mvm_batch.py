@@ -1,0 +1,191 @@
+"""Stacked MVM dispatch: bit-identity against the per-program oracle.
+
+The fleet-wide ``(B, k, 2, 2)`` kernel (:mod:`repro.photonics.batch`)
+claims *exact* equality with sequential :meth:`MZIMesh.propagate` /
+:meth:`SVDProgram.apply` / :class:`BlockMatmul` evaluation — every
+assertion here is ``array_equal``, never ``allclose``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import BlockMatmul, block_matmul_many
+from repro.core.control_unit import MZIMControlUnit
+from repro.noc.flumen_net import FlumenNetwork
+from repro.photonics.batch import (
+    apply_jobs,
+    apply_svd_stacked,
+    batch_stats,
+    plan_signature,
+    propagate_stacked,
+    reset_batch_stats,
+    stack_meshes,
+)
+from repro.photonics.clements import decompose
+from repro.photonics.svd import program_svd
+
+
+def _random_unitary(rng, n):
+    m = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+    u, _, _ = np.linalg.svd(m)
+    return u
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=10),
+       b=st.integers(min_value=2, max_value=6),
+       q=st.integers(min_value=1, max_value=12),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_stacked_mesh_propagate_bit_identical(n, b, q, seed):
+    rng = np.random.default_rng(seed)
+    meshes = [decompose(_random_unitary(rng, n)) for _ in range(b)]
+    fields = rng.normal(size=(b, n, q)) + 1j * rng.normal(size=(b, n, q))
+    out = propagate_stacked(meshes, fields)
+    for i, mesh in enumerate(meshes):
+        assert np.array_equal(out[i], mesh.propagate(fields[i]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=9),
+       b=st.integers(min_value=2, max_value=5),
+       q=st.integers(min_value=1, max_value=10),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_stacked_svd_apply_bit_identical(n, b, q, seed):
+    rng = np.random.default_rng(seed)
+    programs = [program_svd(rng.normal(size=(n, n))) for _ in range(b)]
+    fields = rng.normal(size=(b, n, q)).astype(complex)
+    out = apply_svd_stacked(programs, fields)
+    for i, program in enumerate(programs):
+        assert np.array_equal(out[i], program.apply(fields[i]))
+
+
+def test_same_size_clements_meshes_share_a_layout():
+    rng = np.random.default_rng(0)
+    sigs = {plan_signature(decompose(_random_unitary(rng, 8)))
+            for _ in range(4)}
+    assert len(sigs) == 1
+
+
+def test_stack_meshes_rejects_mixed_layouts():
+    rng = np.random.default_rng(1)
+    meshes = [decompose(_random_unitary(rng, 4)),
+              decompose(_random_unitary(rng, 6))]
+    assert stack_meshes(meshes) is None
+    with pytest.raises(ValueError):
+        propagate_stacked(meshes, np.zeros((2, 4, 1), dtype=complex))
+
+
+def test_propagate_stacked_validates_field_shape():
+    rng = np.random.default_rng(2)
+    meshes = [decompose(_random_unitary(rng, 4)) for _ in range(2)]
+    with pytest.raises(ValueError):
+        propagate_stacked(meshes, np.zeros((2, 4), dtype=complex))
+    with pytest.raises(ValueError):
+        propagate_stacked(meshes, np.zeros((2, 5, 3), dtype=complex))
+
+
+def test_apply_jobs_groups_and_falls_back():
+    rng = np.random.default_rng(3)
+    p8 = [program_svd(rng.normal(size=(8, 8))) for _ in range(3)]
+    p4 = program_svd(rng.normal(size=(4, 4)))
+    jobs = [(p8[0], rng.normal(size=(8, 5))),
+            (p4, rng.normal(size=(4, 5))),  # different layout: fallback
+            (p8[1], rng.normal(size=(8, 5))),
+            (p8[2], rng.normal(size=(8, 2))),  # different q: fallback
+            ]
+    reset_batch_stats()
+    results = apply_jobs(jobs)
+    stats = batch_stats()
+    assert stats == {"jobs": 4, "stacked": 2, "fallback": 2, "groups": 1}
+    for (program, fields), result in zip(jobs, results):
+        assert np.array_equal(result,
+                              program.apply(np.asarray(fields, complex)))
+
+
+def test_apply_jobs_rejects_non_2d_fields():
+    program = program_svd(np.eye(4))
+    with pytest.raises(ValueError):
+        apply_jobs([(program, np.zeros(4))])
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows=st.integers(min_value=2, max_value=30),
+       cols=st.integers(min_value=2, max_value=30),
+       q=st.integers(min_value=1, max_value=10),
+       seed=st.integers(min_value=0, max_value=10**6))
+def test_property_block_matmul_batched_equals_sequential(rows, cols, q,
+                                                         seed):
+    rng = np.random.default_rng(seed)
+    matmul = BlockMatmul(rng.normal(size=(rows, cols)), mzim_size=8)
+    vectors = rng.normal(size=(cols, q))
+    assert np.array_equal(matmul(vectors),
+                          matmul(vectors, batched=False))
+
+
+def test_block_matmul_batched_squeezes_single_vector():
+    rng = np.random.default_rng(5)
+    matmul = BlockMatmul(rng.normal(size=(11, 13)), mzim_size=8)
+    vector = rng.normal(size=13)
+    batched = matmul(vector)
+    assert batched.shape == (11,)
+    assert np.array_equal(batched, matmul(vector, batched=False))
+
+
+def test_block_matmul_all_zero_matrix_stays_zero():
+    matmul = BlockMatmul(np.zeros((10, 10)), mzim_size=8)
+    out = matmul(np.ones((10, 3)))
+    assert np.array_equal(out, np.zeros((10, 3)))
+
+
+def test_block_matmul_many_matches_each_job():
+    rng = np.random.default_rng(6)
+    jobs = []
+    for _ in range(5):
+        rows, cols = int(rng.integers(4, 25)), int(rng.integers(4, 25))
+        matmul = BlockMatmul(rng.normal(size=(rows, cols)), mzim_size=8)
+        jobs.append((matmul, rng.normal(size=(cols, 7))))
+    reset_batch_stats()
+    results = block_matmul_many(jobs)
+    assert batch_stats()["groups"] == 1  # whole fleet in one kernel pass
+    for (matmul, vectors), result in zip(jobs, results):
+        assert np.array_equal(result, matmul(vectors, batched=False))
+
+
+def test_block_matmul_result_numerically_close_to_digital():
+    rng = np.random.default_rng(7)
+    matmul = BlockMatmul(rng.normal(size=(16, 24)), mzim_size=8)
+    vectors = rng.normal(size=(24, 9))
+    np.testing.assert_allclose(matmul(vectors), matmul.matrix @ vectors,
+                               rtol=1e-9, atol=1e-9)
+
+
+def test_control_unit_queue_and_flush_fleet():
+    rng = np.random.default_rng(8)
+    control = MZIMControlUnit(FlumenNetwork(16))
+    matrices = {}
+    for i in range(3):
+        key = f"m{i}"
+        matrices[key] = BlockMatmul(rng.normal(size=(16, 16)), 8)
+        control.matrix_memory.store(key, matrices[key])
+    jobs = []
+    for i in range(8):
+        key = f"m{i % 3}"
+        vectors = rng.normal(size=(16, 6))
+        job_id = control.queue_mvm(key, vectors, node=i)
+        jobs.append((job_id, i, key, vectors))
+    assert control.pending_mvms() == 8
+    results = control.flush_mvms()
+    assert control.pending_mvms() == 0
+    assert control.flush_mvms() == []
+    for (job_id, node, key, vectors), res in zip(jobs, results):
+        assert (res.job_id, res.node, res.matrix_key) == (job_id, node, key)
+        assert np.array_equal(res.result,
+                              matrices[key](vectors, batched=False))
+
+
+def test_control_unit_queue_requires_preloaded_matrix():
+    control = MZIMControlUnit(FlumenNetwork(16))
+    with pytest.raises(KeyError):
+        control.queue_mvm("missing", np.zeros((8, 1)))

@@ -487,3 +487,72 @@ class TestPerfCLI:
         from repro.__main__ import main
         assert main(["perf", "--only", "nope/",
                      "--out", str(tmp_path / "b.json")]) == 2
+
+    def test_perf_timing_breach_fails_without_check(self, capsys,
+                                                    tmp_path):
+        # A supplied baseline is a contract: a blown timing budget must
+        # exit nonzero even when --check was not passed.
+        import json
+        from repro.__main__ import main
+        base = tmp_path / "base.json"
+        assert main(["perf", "--small", "--only", "mesh_propagate/n16",
+                     "--out", str(base), "--baseline", str(base)]) == 0
+        doctored = json.loads(base.read_text())
+        for record in doctored["benchmarks"].values():
+            record["per_call_s"] /= 1e6  # current run can't be this fast
+        base.write_text(json.dumps(doctored))
+        capsys.readouterr()
+        assert main(["perf", "--small", "--only", "mesh_propagate/n16",
+                     "--out", str(tmp_path / "two.json"),
+                     "--baseline", str(base)]) == 1
+        assert "SLOWER" in capsys.readouterr().out
+
+    def test_perf_summary_md_without_baseline(self, capsys, tmp_path):
+        from repro.__main__ import main
+        summary = tmp_path / "summary.md"
+        summary.write_text("# earlier step\n")
+        assert main(["perf", "--small", "--only", "mesh_propagate/n16",
+                     "--out", str(tmp_path / "b.json"),
+                     "--baseline", str(tmp_path / "missing.json"),
+                     "--summary-md", str(summary)]) == 0
+        text = summary.read_text()
+        # Appended after existing content, not overwritten.
+        assert text.startswith("# earlier step")
+        assert "## Perf suite" in text
+        assert "mesh_propagate/n16" in text
+        assert "No baseline available" in text
+
+    def test_perf_summary_md_with_baseline_trend(self, capsys, tmp_path):
+        from repro.__main__ import main
+        base = tmp_path / "base.json"
+        summary = tmp_path / "summary.md"
+        assert main(["perf", "--small", "--only", "mesh_propagate/n16",
+                     "--out", str(base), "--baseline", str(base)]) == 0
+        assert main(["perf", "--small", "--only", "mesh_propagate/n16",
+                     "--out", str(tmp_path / "two.json"),
+                     "--baseline", str(base),
+                     "--summary-md", str(summary)]) == 0
+        text = summary.read_text()
+        assert "### vs baseline @" in text
+        assert "| ok |" in text
+
+    def test_markdown_summary_flags_failures(self):
+        from repro.analysis.perf import compare_to_baseline, \
+            markdown_summary
+        payload = {
+            "suite": "small", "rev": "abc123",
+            "benchmarks": {
+                "x/one": {"wall_s": 1.0, "per_call_s": 0.5,
+                          "speedup_vs_reference": 2.0,
+                          "digest": "d1", "meta": {}}}}
+        baseline = {
+            "benchmarks": {
+                "x/one": {"wall_s": 1.0, "per_call_s": 0.5,
+                          "digest": "d2", "meta": {}}}}
+        rows, failures = compare_to_baseline(payload, baseline)
+        assert failures
+        text = markdown_summary(payload, rows, baseline_rev="base999",
+                                tolerance=2.0)
+        assert "`small` @ `abc123`" in text
+        assert "base999" in text
+        assert "DIGEST MISMATCH" in text and "⚠️" in text
