@@ -29,6 +29,13 @@ Commands
     reference oracles) plus macro sweep/fault benchmarks, written to a
     ``BENCH_<rev>.json`` artifact and compared against a committed
     baseline (strict output-digest equality, tolerant wall clock).
+``metrics-server``
+    Serve a telemetry directory (``sweep --telemetry-dir``) over HTTP:
+    Prometheus text exposition on ``/metrics``, event/snapshot tails as
+    NDJSON, a JSON health summary — stdlib only (DESIGN.md §15).
+``top``
+    Terminal dashboard over the same telemetry directory: top counter /
+    gauge / histogram series, per-tenant totals, recent events.
 
 Deliverable output (tables, telemetry, artifact paths) goes to stdout
 via :func:`repro.analysis.report.emit`; diagnostics go to stderr through
@@ -199,8 +206,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "ok" if result.ok else "FAILED")
         log.info("[%d/%d] %s: %s", done, total, result.key, origin)
 
+    from repro.obs import NULL_OBS, Obs
+
+    obs = Obs.telemetry() if args.telemetry_dir else NULL_OBS
     engine = SweepEngine(jobs=args.jobs, cache=cache,
-                         progress=progress if args.progress else None)
+                         progress=progress if args.progress else None,
+                         obs=obs)
     run = engine.run("system_point", points, base_seed=args.seed)
 
     rows = [[r.metrics["workload"], r.metrics["configuration"],
@@ -221,7 +232,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             json.dump(run.records(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         emit(f"wrote {len(run.results)} records to {args.out}")
+    if args.telemetry_dir:
+        from repro.obs import write_telemetry_dir
+
+        paths = write_telemetry_dir(args.telemetry_dir, obs)
+        emit(f"wrote telemetry ({len(obs.events)} events, "
+             f"{len(obs.sampler)} snapshots) to {args.telemetry_dir}: "
+             + ", ".join(p.name for p in paths.values()))
     return 1 if run.failed_results() else 0
+
+
+def _cmd_metrics_server(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        TelemetryServer,
+        TelemetryStore,
+        load_and_validate_events,
+        parse_exposition,
+    )
+    from repro.obs.telemetry import EVENTS_FILE
+
+    store = TelemetryStore(args.dir)
+    if args.check:
+        problems = list(load_and_validate_events(
+            store.root / EVENTS_FILE))
+        _, expo_problems = parse_exposition(store.exposition())
+        problems += [f"exposition: {p}" for p in expo_problems]
+        for problem in problems:
+            log.error("telemetry: %s", problem)
+        if problems:
+            return 1
+        health = store.health()
+        emit(f"telemetry check: ok ({health['events']} events, "
+             f"{health['snapshots']} snapshots)")
+        return 0
+    if args.once:
+        emit(store.exposition(), end="")
+        return 0
+    with TelemetryServer(store, host=args.host,
+                         port=args.port) as server:
+        emit(f"serving telemetry from {store.root} on "
+             f"http://{args.host}:{server.port}/metrics "
+             f"(also /healthz /events /snapshots; Ctrl-C stops)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import TelemetryStore, render_top
+
+    store = TelemetryStore(args.dir)
+    frames = args.frames if args.follow else 1
+    rendered = 0
+    while frames is None or rendered < frames:
+        frame = render_top(store, top_n=args.top,
+                           events_tail=args.events)
+        if args.follow:
+            # ANSI clear + home, so the dashboard repaints in place.
+            emit("\x1b[2J\x1b[H", end="")
+        emit(frame)
+        rendered += 1
+        if frames is not None and rendered >= frames:
+            break
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            break
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -471,6 +552,48 @@ def main(argv: list[str] | None = None) -> int:
                      help="write the metric records as JSON")
     swp.add_argument("--progress", action="store_true",
                      help="log per-point progress to stderr")
+    swp.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                     help="run with the streaming telemetry bundle and "
+                          "write events.jsonl / snapshots.jsonl / "
+                          "metrics.prom to DIR (serve with "
+                          "'metrics-server --dir DIR')")
+
+    srv = sub.add_parser(
+        "metrics-server",
+        help="serve a telemetry directory over HTTP: /metrics "
+             "(Prometheus text format), /healthz, /events, /snapshots "
+             "(DESIGN.md §15)")
+    srv.add_argument("--dir", default="telemetry", metavar="DIR",
+                     help="telemetry directory to serve (default: "
+                          "telemetry)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=9109,
+                     help="bind port; 0 picks a free one (default: 9109)")
+    srv.add_argument("--check", action="store_true",
+                     help="validate the event log and exposition, then "
+                          "exit (nonzero on problems)")
+    srv.add_argument("--once", action="store_true",
+                     help="print the exposition to stdout and exit "
+                          "(no server)")
+
+    top = sub.add_parser(
+        "top", help="terminal dashboard over a telemetry directory")
+    top.add_argument("--dir", default="telemetry", metavar="DIR",
+                     help="telemetry directory to read (default: "
+                          "telemetry)")
+    top.add_argument("--follow", action="store_true",
+                     help="repaint continuously instead of one frame")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between repaints with --follow "
+                          "(default: 2.0)")
+    top.add_argument("--frames", type=int, default=None, metavar="N",
+                     help="stop after N repaints with --follow "
+                          "(default: run until Ctrl-C)")
+    top.add_argument("--top", type=int, default=10, metavar="N",
+                     help="series shown per section (default: 10)")
+    top.add_argument("--events", type=int, default=8, metavar="N",
+                     help="recent events shown (default: 8)")
 
     trc = sub.add_parser(
         "trace", help="instrumented run -> Chrome trace JSON "
@@ -568,6 +691,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "faults": _cmd_faults,
         "perf": _cmd_perf,
+        "metrics-server": _cmd_metrics_server,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 

@@ -397,24 +397,34 @@ class SweepEngine:
         telemetry = RunTelemetry(total=len(points))
         results: list[PointResult | None] = [None] * len(points)
         done = 0
+        # Engine events use the point *index* as the cycle timestamp —
+        # the engine has no simulation clock, and the index is the one
+        # quantity that is identical across --jobs 1 and --jobs N.
+        events = self.obs.events
 
         # Phase 1: serve cache hits.
         pending: list[tuple[int, PointSpec, int, str | None]] = []
         for i, point in enumerate(points):
             seed = point_seed(base_seed, point.key)
             ckey = None
+            hit = False
             if spec is not None and self.cache is not None:
                 ckey = cache_key(spec, point.params, seed)
                 payload = self.cache.load(ckey)
-                if payload is not None:
+                hit = payload is not None
+                if hit:
                     results[i] = PointResult(
                         key=point.key, params=dict(point.params),
                         status="ok", metrics=payload["metrics"],
                         seed=seed, from_cache=True)
                     telemetry.cache_hits += 1
                     done += 1
-                    self._notify(done, len(points), results[i])
-                    continue
+            if events.enabled:
+                events.emit("cache_hit" if hit else "cache_miss", i,
+                            task=task_name, key=point.key)
+            if hit:
+                self._notify(done, len(points), results[i])
+                continue
             pending.append((i, point, seed, ckey))
 
         # Phase 2: evaluate misses.
@@ -443,7 +453,19 @@ class SweepEngine:
         telemetry.duration_s = time.perf_counter() - start
         final = [r for r in results if r is not None]
         assert len(final) == len(points)
+        # Failure events are deferred to the end and emitted in input
+        # order, so the event log is deterministic under jobs > 1 (pool
+        # completion order is not).
+        if events.enabled:
+            for i, result in enumerate(final):
+                if not result.ok:
+                    events.emit("point_failed", i, task=task_name,
+                                key=result.key, error=result.error or "")
         self._record_telemetry(task_name, telemetry)
+        if self.obs.sampler is not None:
+            # One end-of-run snapshot at the final point index; the
+            # engine clock only advances at run boundaries.
+            self.obs.sampler.sample(len(points))
         return SweepRun(task=task_name, results=final, telemetry=telemetry)
 
     def _record_telemetry(self, task_name: str,

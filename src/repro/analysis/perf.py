@@ -359,6 +359,94 @@ def _bench_fault_smoke(small: bool) -> dict:
     }
 
 
+def _bench_telemetry_overhead(small: bool) -> dict:
+    """Streaming-telemetry cost gate over a small system grid.
+
+    Runs the 2x2 ``{image_blur, rotation3d} x {mesh, flumen_a}`` grid
+    (small shapes) twice per rep — once with :data:`NULL_OBS`, once with
+    the streaming :meth:`Obs.telemetry` bundle — and takes the min over
+    reps for each leg.  Two hard gates ride on the record:
+
+    * **overhead** — the telemetry leg may cost at most 5% over the
+      null leg (plus a 5 ms absolute slack absorbing scheduler jitter
+      on sub-100ms measurements);
+    * **determinism** — every rep's event log + snapshot series must be
+      byte-identical (the record's digest is that canonical payload, so
+      the committed baseline also pins it across machines).
+
+    The record carries estimated latency quantiles from the telemetry
+    leg's histograms (surfaced in the perf markdown summary).
+    """
+    from repro.analysis.tasks import _find_workload
+    from repro.core.system import SystemModel
+    from repro.obs import NULL_OBS, Obs
+
+    grid = [("image_blur", "mesh"), ("image_blur", "flumen_a"),
+            ("rotation3d", "mesh"), ("rotation3d", "flumen_a")]
+    workloads = {name: _find_workload(name, "small")
+                 for name in dict.fromkeys(wl for wl, _ in grid)}
+
+    def leg(obs_factory) -> tuple[float, list]:
+        bundles = []
+        t0 = time.perf_counter()
+        for wl, cfg in grid:
+            obs = obs_factory()
+            SystemModel(traffic_seed=17, obs=obs).run(workloads[wl], cfg)
+            bundles.append(obs)
+        return time.perf_counter() - t0, bundles
+
+    reps = 2 if small else 3
+    null_s = min(leg(lambda: NULL_OBS)[0] for _ in range(reps))
+    telem_s = float("inf")
+    payloads: list[str] = []
+    bundles: list = []
+    for _ in range(reps):
+        wall, run_bundles = leg(
+            lambda: Obs.telemetry(snapshot_interval=256))
+        telem_s = min(telem_s, wall)
+        payloads.append(canonical_json([
+            {"events": list(obs.events.events),
+             "snapshots": obs.sampler.series}
+            for obs in run_bundles]))
+        bundles = run_bundles
+    if len(set(payloads)) != 1:
+        raise RuntimeError(
+            "telemetry output is not deterministic: identical same-seed "
+            "reps produced differing event/snapshot payloads")
+    overhead = (telem_s - null_s) / null_s if null_s > 0 else 0.0
+    if telem_s - null_s > max(0.05 * null_s, 0.005):
+        raise RuntimeError(
+            f"streaming telemetry overhead {overhead:.1%} exceeds the 5% "
+            f"budget ({telem_s:.4f}s vs {null_s:.4f}s over the null "
+            f"bundle)")
+
+    quantiles: dict[str, dict] = {}
+    for (wl, cfg), obs in zip(grid, bundles):
+        for kind, key, name, _labels, inst in obs.metrics.iter_series():
+            if kind != "histogram" or not inst.count:
+                continue
+            quantiles[f"{wl}/{cfg}:{key}"] = {
+                "count": inst.count,
+                "p50": round(inst.quantile(0.50), 3),
+                "p95": round(inst.quantile(0.95), 3),
+                "p99": round(inst.quantile(0.99), 3),
+            }
+    events = sum(len(obs.events) for obs in bundles)
+    snapshots = sum(len(obs.sampler) for obs in bundles)
+    return {
+        "wall_s": telem_s,
+        "per_call_s": telem_s / len(grid),
+        "reference_per_call_s": null_s / len(grid),
+        "overhead_fraction": round(overhead, 4),
+        "quantiles": quantiles,
+        "meta": {"grid": [f"{wl}/{cfg}" for wl, cfg in grid],
+                 "shapes": "small", "traffic_seed": 17,
+                 "snapshot_interval": 256, "events": events,
+                 "snapshots": snapshots},
+        "digest": hashlib.sha256(payloads[0].encode()).hexdigest(),
+    }
+
+
 #: The pinned suite: (name, in_small_suite, callable(small) -> record).
 BENCHMARKS: list[tuple[str, bool, object]] = [
     ("mesh_propagate/n16", True,
@@ -381,6 +469,7 @@ BENCHMARKS: list[tuple[str, bool, object]] = [
     ("sweep_small/2x2", True, _bench_sweep_2x2),
     ("sweep_small/full_grid", False, _bench_sweep_full),
     ("faults_smoke/stuck_mzi", True, _bench_fault_smoke),
+    ("telemetry_overhead/2x2", True, _bench_telemetry_overhead),
 ]
 
 
@@ -450,6 +539,19 @@ def markdown_summary(payload: dict,
             f"| {'-' if per_call is None else f'{per_call * 1e3:.3f}'} "
             f"| {'-' if speedup is None else f'{speedup:.2f}x'} |")
     lines.append("")
+    quantile_rows = [
+        (bench, series, q)
+        for bench, record in payload["benchmarks"].items()
+        for series, q in sorted(record.get("quantiles", {}).items())]
+    if quantile_rows:
+        lines += ["### Estimated latency quantiles", "",
+                  "| benchmark | series | count | p50 | p95 | p99 |",
+                  "|---|---|---:|---:|---:|---:|"]
+        for bench, series, q in quantile_rows:
+            lines.append(
+                f"| {bench} | `{series}` | {q['count']} "
+                f"| {q['p50']:g} | {q['p95']:g} | {q['p99']:g} |")
+        lines.append("")
     if delta_rows is None:
         lines.append("_No baseline available; nothing to compare against._")
     else:

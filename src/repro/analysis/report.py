@@ -6,15 +6,16 @@ import sys
 from collections.abc import Mapping, Sequence
 
 
-def emit(text: str = "") -> None:
+def emit(text: str = "", end: str = "\n") -> None:
     """Write deliverable output (tables, summaries, artifacts) to stdout.
 
     The CLI separates *results* — stable stdout that tests and CI grep —
     from *diagnostics*, which go through :mod:`logging` to stderr.  This
     is the single sanctioned stdout sink, which lets ruff's T20 (no bare
-    ``print``) cover all of ``src/``.
+    ``print``) cover all of ``src/``.  ``end=""`` suits pre-terminated
+    payloads (Prometheus expositions, ANSI control sequences).
     """
-    sys.stdout.write(text + "\n")
+    sys.stdout.write(text + end)
 
 
 def format_table(headers: Sequence[str],

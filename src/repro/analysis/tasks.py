@@ -144,10 +144,12 @@ def alg1_mix(params: dict, seed: int) -> dict:
         for packet in traffic.packets_for_cycle(net.cycle):
             net.offer_packet(packet)
         if cycle % period == 0:
+            # Explicit per-run id (the default factory is a process-global
+            # counter): keeps same-seed event logs byte-identical.
             control.compute_buffer.append(ComputeRequest(
                 node=cycle % 16, plan=job, matrix_key="k",
                 submit_cycle=cycle, ports_needed=4,
-                duration_override=60))
+                duration_override=60, request_id=submitted))
             control.requests_received += 1
             submitted += 1
         scheduler.tick()

@@ -77,18 +77,21 @@ class TraceRun:
 def trace_workload(workload_name: str,
                    configuration: str = DEFAULT_CONFIGURATION,
                    shapes: str = "paper",
-                   traffic_seed: int = 17) -> TraceRun:
+                   traffic_seed: int = 17,
+                   obs: Obs | None = None) -> TraceRun:
     """Run one workload with full instrumentation attached.
 
     ``flumen_a`` (the default) is the only configuration whose execution
     path touches the scheduler and photonic fabric; baselines still
-    produce engine/multicore/noc events.
+    produce engine/multicore/noc events.  Pass ``obs`` to substitute a
+    different bundle (e.g. :meth:`Obs.telemetry` for a streaming
+    event-log/snapshot run without the Chrome tracer).
     """
     from repro.analysis.tasks import _find_workload
 
     configuration = get_configuration(configuration).name
     workload = _find_workload(workload_name, shapes)
-    obs = Obs.active()
+    obs = obs if obs is not None else Obs.active()
     model = SystemModel(traffic_seed=traffic_seed, obs=obs)
     run = model.run(workload, configuration)
     return TraceRun(workload=workload_name, configuration=configuration,

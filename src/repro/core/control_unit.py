@@ -48,6 +48,10 @@ class ComputeRequest:
     #: Optional explicit partition hold time in cycles; when None the
     #: scheduler derives it from the plan (Table 1 timings).
     duration_override: int | None = None
+    #: Accounting context: which tenant's request stream this job belongs
+    #: to.  Threaded onto per-tenant counters and structured events by
+    #: the scheduler and control unit (the serve daemon's currency).
+    tenant: str = "default"
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     def __post_init__(self) -> None:
@@ -200,6 +204,7 @@ class MVMResult:
     node: int
     matrix_key: str
     result: np.ndarray
+    tenant: str = "default"
 
 
 class MZIMControlUnit:
@@ -224,11 +229,12 @@ class MZIMControlUnit:
         #: Optional fabric health monitor (None = always healthy).
         self.health = health
         #: Queued numeric MVM jobs awaiting a fleet-wide stacked dispatch:
-        #: ``(job_id, node, matrix_key, vectors)``.
-        self._mvm_queue: list[tuple[int, int, str, np.ndarray]] = []
+        #: ``(job_id, node, matrix_key, vectors, tenant)``.
+        self._mvm_queue: list[tuple[int, int, str, np.ndarray, str]] = []
         self._mvm_ids = itertools.count()
         self.obs = obs
         self._tracer = obs.tracer
+        self._events = obs.events
         self._m_offload_accept = obs.metrics.counter("core.offload_accepted")
         self._m_offload_reject = obs.metrics.counter("core.offload_rejected")
         self._m_mvm_jobs = obs.metrics.counter("core.mvm_jobs")
@@ -254,6 +260,8 @@ class MZIMControlUnit:
         self.compute_buffer.append(request)
         self.requests_received += 1
         self._m_offload_accept.inc()
+        self.obs.metrics.counter("core.tenant_offload_accepted",
+                                 tenant=request.tenant).inc()
         if self._tracer.enabled:
             self._tracer.instant(
                 "core", "offload", "offload_accept", request.submit_cycle,
@@ -275,7 +283,7 @@ class MZIMControlUnit:
     # -- fleet-wide MVM dispatch ------------------------------------------
 
     def queue_mvm(self, matrix_key: str, vectors: np.ndarray,
-                  node: int = 0) -> int:
+                  node: int = 0, tenant: str = "default") -> int:
         """Queue one numeric MVM job against a preloaded matrix.
 
         Jobs accumulate until :meth:`flush_mvms`, which executes the whole
@@ -289,7 +297,8 @@ class MZIMControlUnit:
                 f"memory before queueing an MVM (Section 3.3.3)")
         job_id = next(self._mvm_ids)
         self._mvm_queue.append((job_id, node, matrix_key,
-                                np.asarray(vectors, dtype=float)))
+                                np.asarray(vectors, dtype=float),
+                                str(tenant)))
         return job_id
 
     def pending_mvms(self) -> int:
@@ -308,18 +317,32 @@ class MZIMControlUnit:
         if not queue:
             return []
         jobs = [(self.matrix_memory.get(key), vectors)
-                for _, _, key, vectors in queue]
+                for _, _, key, vectors, _ in queue]
         outputs = block_matmul_many(jobs)
         self._m_mvm_jobs.inc(len(queue))
         self._m_mvm_flushes.inc()
+        tenant_jobs: dict[str, int] = {}
+        for _, _, _, _, tenant in queue:
+            tenant_jobs[tenant] = tenant_jobs.get(tenant, 0) + 1
+        for tenant, n in tenant_jobs.items():
+            self.obs.metrics.counter("core.tenant_mvm_jobs",
+                                     tenant=tenant).inc(n)
+        if self._events.enabled:
+            self._events.emit(
+                "mvm_flush", self.network.cycle,
+                jobs=len(queue),
+                nodes=sorted({node for _, node, _, _, _ in queue}),
+                blocks=sum(len(job.programs) for job, _ in jobs),
+                tenants={t: tenant_jobs[t] for t in sorted(tenant_jobs)})
         if self._tracer.enabled:
             self._tracer.instant(
                 "core", "offload", "mvm_flush", self.network.cycle,
                 jobs=len(queue),
                 blocks=sum(len(job.programs) for job, _ in jobs))
         return [MVMResult(job_id=job_id, node=node, matrix_key=key,
-                          result=result)
-                for (job_id, node, key, _), result in zip(queue, outputs)]
+                          result=result, tenant=tenant)
+                for (job_id, node, key, _, tenant), result
+                in zip(queue, outputs)]
 
     def network_utilization(self, scan_depth: float | None = None) -> float:
         """Utilization feedback broadcast to the chiplets (Section 3.4)."""

@@ -169,6 +169,7 @@ class FlumenScheduler:
         self.completions: dict[int, int] = {}
         self.obs = obs
         self._tracer = obs.tracer
+        self._events = obs.events
         self._m_grants = obs.metrics.counter("core.partition_grants")
         self._m_deferrals = obs.metrics.counter("core.partition_deferrals")
         self._m_completed = obs.metrics.counter("core.partitions_completed")
@@ -188,6 +189,11 @@ class FlumenScheduler:
             # with no circuits programmed yet.
             fabric.configure_communication({})
 
+    def _account_tenant(self, name: str, tenant: str,
+                        amount: int = 1) -> None:
+        """Per-tenant accounting series (grant-rate events, off hot path)."""
+        self.obs.metrics.counter(name, tenant=tenant).inc(amount)
+
     # -- Algorithm 1, lines 19-28 ---------------------------------------
 
     def _partitioner(self) -> None:
@@ -204,6 +210,12 @@ class FlumenScheduler:
                 remaining.append(request)
                 self.stats.deferred_evaluations += 1
                 self._m_deferrals.inc()
+                if self._events.enabled:
+                    self._events.emit(
+                        "partition_defer", self.cycle,
+                        tenant=request.tenant,
+                        request_id=request.request_id, reason="no_ports",
+                        ports_needed=request.ports_needed)
                 if self._tracer.enabled:
                     self._tracer.instant(
                         "core", "alg1", "partition_defer", self.cycle,
@@ -236,9 +248,20 @@ class FlumenScheduler:
                 self.active.append(comp)
                 self.stats.granted += 1
                 self._m_grants.inc()
-                self.stats.total_wait_cycles += \
-                    self.cycle - request.submit_cycle
+                wait = self.cycle - request.submit_cycle
+                self.stats.total_wait_cycles += wait
                 self.control.compute_buffer.remove(request)
+                self._account_tenant("core.tenant_partition_grants",
+                                     request.tenant)
+                self._account_tenant("core.tenant_wait_cycles",
+                                     request.tenant, wait)
+                if self._events.enabled:
+                    self._events.emit(
+                        "partition_grant", self.cycle,
+                        tenant=request.tenant,
+                        request_id=request.request_id,
+                        lo_port=lo, hi_port=hi, beta=round(beta, 6),
+                        wait_cycles=wait, duration=duration)
                 if self._tracer.enabled:
                     self._tracer.instant(
                         "core", "alg1", "mzim_block", self.cycle,
@@ -248,6 +271,12 @@ class FlumenScheduler:
                 remaining.append(request)
                 self.stats.deferred_evaluations += 1
                 self._m_deferrals.inc()
+                if self._events.enabled:
+                    self._events.emit(
+                        "partition_defer", self.cycle,
+                        tenant=request.tenant,
+                        request_id=request.request_id, reason="beta",
+                        beta=round(beta, 6), eta=self.cfg.eta)
 
     def _effective_ports(self, ports_needed: int) -> int:
         """Partition size after the ladder's SHRINK cap (even, >= 2)."""
@@ -272,6 +301,14 @@ class FlumenScheduler:
                 remaining_cycles=duration, start_cycle=self.cycle))
             self.control.compute_buffer.remove(request)
             self._m_electrical.inc()
+            self._account_tenant("core.tenant_electrical_jobs",
+                                 request.tenant)
+            if self._events.enabled:
+                self._events.emit(
+                    "electrical_fallback", self.cycle,
+                    tenant=request.tenant,
+                    request_id=request.request_id, node=request.node,
+                    duration=duration)
             if self._tracer.enabled:
                 self._tracer.instant(
                     "core", "faults", "electrical_fallback", self.cycle,
@@ -331,6 +368,20 @@ class FlumenScheduler:
                 self.stats.completed += 1
                 self._m_completed.inc()
                 self.completions[comp.request.request_id] = self.cycle
+                self._account_tenant("core.tenant_partitions_completed",
+                                     comp.request.tenant)
+                self._account_tenant("core.tenant_busy_port_cycles",
+                                     comp.request.tenant,
+                                     comp.total_cycles
+                                     * (comp.hi_port - comp.lo_port))
+                if self._events.enabled:
+                    self._events.emit(
+                        "partition_complete", self.cycle,
+                        tenant=comp.request.tenant,
+                        request_id=comp.request.request_id,
+                        duration=self.cycle - comp.grant_cycle,
+                        lo_port=comp.lo_port, hi_port=comp.hi_port,
+                        drain_cycles=comp.start_cycle - comp.grant_cycle)
                 if comp.fabric_partition is not None:
                     self.fabric.configure_gather(
                         comp.fabric_partition, comp.lo_port)
@@ -360,6 +411,16 @@ class FlumenScheduler:
                 self.stats.electrical_completions += 1
                 self._m_completed.inc()
                 self.completions[job.request.request_id] = self.cycle
+                self._account_tenant("core.tenant_partitions_completed",
+                                     job.request.tenant)
+                if self._events.enabled:
+                    self._events.emit(
+                        "partition_complete", self.cycle,
+                        tenant=job.request.tenant,
+                        request_id=job.request.request_id,
+                        duration=self.cycle - job.start_cycle,
+                        lo_port=-1, hi_port=-1, drain_cycles=0,
+                        electrical=True)
                 if self._tracer.enabled:
                     self._tracer.complete(
                         "core", "partitions", "electrical_job",
@@ -378,20 +439,32 @@ class FlumenScheduler:
     def run(self, cycles: int, traffic=None) -> None:
         """Co-simulate scheduler + network for ``cycles`` cycles."""
         network = self.control.network
+        sampler = self.obs.sampler
         for _ in range(cycles):
             if traffic is not None:
                 for packet in traffic.packets_for_cycle(network.cycle):
                     network.offer_packet(packet)
             self.tick()
             network.step()
+            # Throttled snapshot offer (same rationale as SimKernel.run:
+            # the sampler's cycle cadence stays the authority).
+            if sampler is not None and self.cycle & 63 == 0:
+                sampler.tick(self.cycle)
+        if sampler is not None:
+            sampler.tick(self.cycle)
 
     def drain(self, max_cycles: int = 100_000) -> None:
         """Run until all compute requests and packets complete."""
         network = self.control.network
+        sampler = self.obs.sampler
         budget = max_cycles
         while budget > 0 and (self.active or self.electrical
                               or self.control.compute_buffer
                               or not network.quiescent()):
             self.tick()
             network.step()
+            if sampler is not None and self.cycle & 63 == 0:
+                sampler.tick(self.cycle)
             budget -= 1
+        if sampler is not None:
+            sampler.tick(self.cycle)

@@ -444,17 +444,22 @@ class SystemModel:
         # timer series, simulated extent as a cycle-stamped trace span.
         wall_start = time.perf_counter()
         start_cycle = net.cycle
+        sampler = self.obs.sampler
         for _ in range(window):
             for packet in trace.packets_for_cycle(net.cycle):
                 net.offer_packet(packet)
             scheduler.tick()
             net.step()
+            if sampler is not None and net.cycle & 63 == 0:
+                sampler.tick(net.cycle)
         budget = 20_000
         while budget and not (net.quiescent() and not scheduler.active
                               and not control.compute_buffer):
             scheduler.tick()
             net.step()
             budget -= 1
+        if sampler is not None:
+            sampler.tick(net.cycle)
         self.obs.metrics.timer("noc.run_seconds", topology=net.name) \
             .observe(time.perf_counter() - wall_start)
         if self.obs.tracer.enabled:

@@ -115,6 +115,7 @@ class FaultInjector:
         self._continuous: list[FaultModel] = []
         self.obs = obs
         self._tracer = obs.tracer
+        self._event_log = obs.events
 
     @property
     def pending(self) -> int:
@@ -133,6 +134,12 @@ class FaultInjector:
                 self._continuous.append(event.fault)
             self.obs.metrics.counter(
                 "photonics.faults_injected", kind=event.fault.kind).inc()
+            if self._event_log.enabled:
+                self._event_log.emit(
+                    "fault_activation", cycle, kind=event.fault.kind,
+                    scheduled_cycle=event.cycle,
+                    continuous=event.fault.continuous,
+                    **event.fault.params())
             if self._tracer.enabled:
                 self._tracer.instant(
                     "photonics", "faults", f"inject_{event.fault.kind}",

@@ -166,6 +166,7 @@ class DegradationLadder:
         self.last_error = 0.0
         self.obs = obs
         self._tracer = obs.tracer
+        self._events = obs.events
         self._m_detections = obs.metrics.counter("core.ladder_detections")
         self._m_attempts = obs.metrics.counter("core.ladder_attempts")
         self._m_recoveries = obs.metrics.counter("core.ladder_recoveries")
@@ -277,6 +278,12 @@ class DegradationLadder:
         self.obs.metrics.counter(
             "core.ladder_transitions", dst=dst.name).inc()
         self._g_rung.set(float(int(dst)))
+        if self._events.enabled:
+            self._events.emit(
+                "ladder_transition", cycle,
+                src=src.name, dst=dst.name, reason=reason,
+                error=round(self.last_error, 6),
+                partition_ports_cap=self.partition_ports_cap)
         if self._tracer.enabled:
             self._tracer.instant(
                 "core", "faults", "ladder_transition", cycle,

@@ -53,10 +53,11 @@ class SimKernel:
         self.link_traversals = 0
         self.obs = obs
         self._tracer = obs.tracer
-        self._m_injected = obs.metrics.counter(
-            "noc.packets_injected", topology=name)
-        self._m_delivered = obs.metrics.counter(
-            "noc.packets_delivered", topology=name)
+        self._sampler = obs.sampler
+        #: Accounting context; "" until :meth:`set_tenant` scopes the
+        #: kernel to one tenant's request stream.
+        self.tenant = ""
+        self._bind_accounting()
         if self._tracer.enabled:
             tracer = self._tracer
             interval = utilization_interval
@@ -65,6 +66,30 @@ class SimKernel:
                 tracer.counter("noc", "links", "link_busy_fraction",
                                (index + 1) * interval, busy=fraction)
             self.utilization.on_flush = _flush_to_trace
+
+    def _bind_accounting(self) -> None:
+        """(Re)create the labeled accounting series for this kernel."""
+        labels: dict[str, object] = {"topology": self.name}
+        if self.tenant:
+            labels["tenant"] = self.tenant
+        metrics = self.obs.metrics
+        self._m_injected = metrics.counter("noc.packets_injected", **labels)
+        self._m_delivered = metrics.counter("noc.packets_delivered",
+                                            **labels)
+        self._h_latency = metrics.histogram("noc.packet_latency_cycles",
+                                            **labels)
+
+    def set_tenant(self, tenant: str) -> None:
+        """Scope subsequent traffic accounting to one tenant.
+
+        The serve daemon runs one kernel per tenant request stream; the
+        tenant label lands on the injection/delivery counters and the
+        latency histogram so per-tenant series accumulate side by side.
+        Uninstrumented kernels pay nothing (the rebind hands back the
+        shared null instrument).
+        """
+        self.tenant = str(tenant)
+        self._bind_accounting()
 
     # -- backend hooks ---------------------------------------------------
 
@@ -121,6 +146,7 @@ class SimKernel:
         self.latency.record(packet.create_cycle, delivered_cycle,
                             packet.size_flits)
         self._m_delivered.inc()
+        self._h_latency.observe(delivered_cycle - packet.create_cycle)
         if self._tracer.enabled:
             self._tracer.complete(
                 "noc", track, "packet",
@@ -152,12 +178,23 @@ class SimKernel:
         fast_forward = (self._supports_idle_skip
                         and not self._tracer.enabled
                         and hasattr(traffic, "next_event_cycle"))
+        sampler = self._sampler
         remaining = cycles
         while remaining > 0:
             for packet in traffic.packets_for_cycle(self.cycle):
                 self.offer_packet(packet)
             self.step()
             remaining -= 1
+            if sampler is not None and self.cycle & 63 == 0:
+                # Cycle-driven telemetry snapshot, offered every 64th
+                # cycle — the sampler's own cadence (>= 256 cycles by
+                # default) stays the sampling authority, and the hot
+                # loop pays one int test per cycle instead of a clock
+                # advance.  Idle fast-forward below may jump past sample
+                # points, in which case the series resumes at the
+                # post-jump cycle (the skipped cycles carry no registry
+                # mutations by construction).
+                sampler.tick(self.cycle)
             if remaining > 0 and fast_forward and self.quiescent():
                 nxt = traffic.next_event_cycle(self.cycle)
                 idle = remaining if nxt is None \
@@ -170,6 +207,8 @@ class SimKernel:
             while not self.quiescent() and budget > 0:
                 self.step()
                 budget -= 1
+        if sampler is not None:
+            sampler.tick(self.cycle)
         self.utilization.finish()
         self._end_run()
         # Per-run phase timing: wall seconds into the (count-only by

@@ -1,4 +1,4 @@
-"""Exporters: Chrome trace-event JSON and JSONL metric snapshots.
+"""Exporters: Chrome trace-event JSON, JSONL metrics, event logs.
 
 ``chrome_trace_payload`` produces the JSON object format of the Chrome
 trace-event specification (loadable in Perfetto and ``chrome://tracing``):
@@ -9,6 +9,14 @@ identical simulations produce byte-identical files.
 ``validate_chrome_trace`` is the minimal schema check the CI smoke job
 and the tests run against emitted traces: every event must carry
 ``name`` / ``ph`` / ``ts`` / ``pid`` / ``tid``.
+
+``write_event_log`` / ``load_and_validate_events`` are the structured
+event log's disk round-trip (:mod:`repro.obs.events`): append-only
+JSONL, one canonical record per line.  The loader is deliberately
+paranoid — it flags truncated lines, unknown schema versions,
+out-of-order sequence numbers, non-monotonic cycle timestamps, unknown
+event types, and missing per-type payload fields, because the serve
+daemon will ingest logs it did not write.
 """
 
 from __future__ import annotations
@@ -17,6 +25,12 @@ import json
 import os
 from pathlib import Path
 
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    EventLog,
+    NullEventLog,
+)
 from repro.obs.tracer import CycleTracer, NullTracer
 
 #: Event keys every Chrome trace event must carry.
@@ -103,3 +117,91 @@ def load_and_validate(path: str | os.PathLike) -> list[str]:
     except (OSError, ValueError) as exc:
         return [f"unreadable trace {path}: {exc}"]
     return validate_chrome_trace(payload)
+
+
+# ----------------------------------------------------------------------
+# structured event log (repro.obs.events) round-trip
+
+
+def write_event_log(path: str | os.PathLike,
+                    log: EventLog | NullEventLog) -> Path:
+    """Write an event log as canonical JSONL; returns the path written."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [_canonical(record) for record in log.events]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def _validate_event_record(i: int, record: object,
+                           problems: list[str]) -> dict | None:
+    """Envelope checks for one parsed record; returns it when usable."""
+    if not isinstance(record, dict):
+        problems.append(f"event[{i}] is not an object")
+        return None
+    missing = [k for k in ("v", "seq", "cycle", "type") if k not in record]
+    if missing:
+        problems.append(f"event[{i}] missing envelope keys {missing}")
+        return None
+    if record["v"] != EVENT_SCHEMA_VERSION:
+        problems.append(f"event[{i}] has unknown schema version "
+                        f"{record['v']!r} (expected "
+                        f"{EVENT_SCHEMA_VERSION})")
+        return None
+    return record
+
+
+def validate_events(records: list[object]) -> list[str]:
+    """Schema-check parsed event records; returns problems (empty=ok)."""
+    problems: list[str] = []
+    last_cycle = None
+    for i, raw in enumerate(records):
+        record = _validate_event_record(i, raw, problems)
+        if record is None:
+            continue
+        if record["seq"] != i:
+            problems.append(f"event[{i}] has sequence {record['seq']}, "
+                            f"expected {i}")
+        cycle = record["cycle"]
+        if not isinstance(cycle, int) or cycle < 0:
+            problems.append(f"event[{i}] has invalid cycle {cycle!r}")
+        elif last_cycle is not None and cycle < last_cycle:
+            problems.append(f"event[{i}] has non-monotonic cycle {cycle} "
+                            f"(previous {last_cycle})")
+        else:
+            last_cycle = cycle
+        required = EVENT_TYPES.get(record["type"])
+        if required is None:
+            problems.append(f"event[{i}] has unknown type "
+                            f"{record['type']!r}")
+        else:
+            absent = [k for k in required if k not in record]
+            if absent:
+                problems.append(f"event[{i}] ({record['type']}) missing "
+                                f"payload fields {absent}")
+    return problems
+
+
+def load_and_validate_events(path: str | os.PathLike) -> list[str]:
+    """Read an event log from disk and schema-check it.
+
+    Failure modes covered: unreadable file, truncated/unparseable JSONL
+    lines, unknown schema versions, sequence gaps, non-monotonic cycle
+    timestamps, unknown event types, missing payload fields.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        return [f"unreadable event log {path}: {exc}"]
+    problems: list[str] = []
+    records: list[object] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            problems.append(f"line {lineno}: unparseable JSON "
+                            "(truncated write?)")
+    return problems + validate_events(records)

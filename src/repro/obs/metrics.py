@@ -65,6 +65,9 @@ class Gauge:
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
 
 class Histogram:
     """Fixed-bound bucketed distribution with count/sum/min/max."""
@@ -93,6 +96,51 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def cumulative_buckets(self) -> dict[str, int]:
+        """Prometheus-convention buckets: ``le`` upper bound -> count of
+        observations at or below it, cumulative, ending at ``+Inf``."""
+        out: dict[str, int] = {}
+        running = 0
+        for bound, c in zip(self.bounds, self.bucket_counts):
+            running += c
+            out[f"{bound:g}"] = running
+        out["+Inf"] = self.count
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile by linear interpolation within buckets.
+
+        Same estimator as PromQL's ``histogram_quantile``, tightened at
+        the edges with the tracked ``min_seen``/``max_seen``: the first
+        bucket interpolates from the observed minimum, and the open
+        ``+Inf`` bucket from its lower bound to the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.bucket_counts):
+            if not c:
+                continue
+            below = cumulative
+            cumulative += c
+            if cumulative >= rank:
+                if i == 0:
+                    lo = min(self.min_seen, self.bounds[0])
+                else:
+                    lo = self.bounds[i - 1]
+                if i < len(self.bounds):
+                    hi = min(self.bounds[i], self.max_seen)
+                else:
+                    hi = self.max_seen
+                if hi <= lo:
+                    return hi
+                frac = (rank - below) / c
+                return lo + (hi - lo) * frac
+        return self.max_seen
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -100,11 +148,10 @@ class Histogram:
             "mean": self.mean,
             "min": self.min_seen if self.count else 0.0,
             "max": self.max_seen if self.count else 0.0,
-            "buckets": {
-                (f"le_{b:g}" if i < len(self.bounds) else "inf"): c
-                for i, (b, c) in enumerate(
-                    zip(self.bounds + (float("inf"),), self.bucket_counts))
-            },
+            "buckets": self.cumulative_buckets(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -170,6 +217,9 @@ class _NullInstrument:
     def inc(self, amount: int | float = 1) -> None:
         pass
 
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
     def set(self, value: float) -> None:
         pass
 
@@ -194,19 +244,29 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._timers: dict[str, Timer] = {}
+        #: Flat key -> (name, labels) so series enumerate structurally.
+        self._meta: dict[str, tuple[str, tuple[tuple[str, str], ...]]] = {}
 
     @staticmethod
     def _labels(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
         return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
+    def _key(self, name: str,
+             labels: dict[str, object]) -> str:
+        lbl = self._labels(labels)
+        key = _series_key(name, lbl)
+        if key not in self._meta:
+            self._meta[key] = (name, lbl)
+        return key
+
     def counter(self, name: str, **labels: object) -> Counter:
-        key = _series_key(name, self._labels(labels))
+        key = self._key(name, labels)
         if key not in self._counters:
             self._counters[key] = Counter()
         return self._counters[key]
 
     def gauge(self, name: str, **labels: object) -> Gauge:
-        key = _series_key(name, self._labels(labels))
+        key = self._key(name, labels)
         if key not in self._gauges:
             self._gauges[key] = Gauge()
         return self._gauges[key]
@@ -214,16 +274,30 @@ class MetricsRegistry:
     def histogram(self, name: str,
                   bounds: tuple[float, ...] = DEFAULT_BUCKETS,
                   **labels: object) -> Histogram:
-        key = _series_key(name, self._labels(labels))
+        key = self._key(name, labels)
         if key not in self._histograms:
             self._histograms[key] = Histogram(bounds)
         return self._histograms[key]
 
     def timer(self, name: str, **labels: object) -> Timer:
-        key = _series_key(name, self._labels(labels))
+        key = self._key(name, labels)
         if key not in self._timers:
             self._timers[key] = Timer()
         return self._timers[key]
+
+    def iter_series(self):
+        """Enumerate every series without touching private dicts.
+
+        Yields ``(kind, key, name, labels, instrument)`` tuples in a
+        deterministic order: kind (counter, gauge, histogram, timer),
+        then sorted flat key.  ``labels`` is a plain dict copy.
+        """
+        stores = (("counter", self._counters), ("gauge", self._gauges),
+                  ("histogram", self._histograms), ("timer", self._timers))
+        for kind, store in stores:
+            for key in sorted(store):
+                name, labels = self._meta[key]
+                yield kind, key, name, dict(labels), store[key]
 
     def to_dict(self, wall_time: bool = False) -> dict:
         """Deterministic deep snapshot of every series (sorted keys).
@@ -232,16 +306,18 @@ class MetricsRegistry:
         ``wall_time=True`` — wall-clock sums would break the
         byte-identity of same-seed snapshots.
         """
-        return {
-            "counters": {k: self._counters[k].value
-                         for k in sorted(self._counters)},
-            "gauges": {k: self._gauges[k].value
-                       for k in sorted(self._gauges)},
-            "histograms": {k: self._histograms[k].to_dict()
-                           for k in sorted(self._histograms)},
-            "timers": {k: self._timers[k].to_dict(wall_time)
-                       for k in sorted(self._timers)},
-        }
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {},
+                     "timers": {}}
+        for kind, key, _name, _labels, inst in self.iter_series():
+            if kind == "counter":
+                out["counters"][key] = inst.value
+            elif kind == "gauge":
+                out["gauges"][key] = inst.value
+            elif kind == "histogram":
+                out["histograms"][key] = inst.to_dict()
+            else:
+                out["timers"][key] = inst.to_dict(wall_time)
+        return out
 
 
 class NullMetricsRegistry(MetricsRegistry):

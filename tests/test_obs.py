@@ -62,7 +62,9 @@ class TestMetricsRegistry:
         hist = snap["histograms"]["lat"]
         assert hist["count"] == 3
         assert hist["min"] == 5 and hist["max"] == 500
-        assert hist["buckets"] == {"le_10": 1, "le_100": 1, "inf": 1}
+        # Buckets are cumulative (Prometheus le convention).
+        assert hist["buckets"] == {"10": 1, "100": 2, "+Inf": 3}
+        assert hist["p50"] == pytest.approx(55.0)
 
     def test_to_dict_is_deterministic(self):
         def build():
