@@ -1,0 +1,127 @@
+"""Golden-numbers pins for the photonic stack (PR 3 pattern).
+
+Exact digests of the Clements-path outputs, committed *before* the
+mesh-architecture registry refactor so the default path can be proven
+byte-identical across it:
+
+* :func:`repro.photonics.svd.program_svd` — programmed matrix, singular
+  values, attenuator thetas, and a forward propagation;
+* fabric hop traces — the communication mesh's per-path MZI counts and
+  the equalized attenuator column;
+* a zero-fault campaign — the full ``run_single`` record (the per-run
+  payload only: the campaign spec itself may legitimately grow fields).
+
+Every constant was produced by the exact code in this tree; a mismatch
+means the simulation output changed, which on the default architecture
+is a regression, not noise.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import canonical_json
+from repro.faults.campaign import CampaignSpec, run_single
+from repro.photonics.clements import decompose, random_unitary
+from repro.photonics.fabric import FlumenFabric
+from repro.photonics.svd import clear_svd_cache, program_svd
+
+SVD_MATRIX_DIGEST = \
+    "bde97246e59db6e244f6fbf1341936d4de3180d47ec14d7fa97fe24e4a69e87a"
+SVD_SIGMA_DIGEST = \
+    "7d9fba9e828cfea461a3ca5f01696cdb1f4f5b95b593b3f43299213fdf1b74bf"
+SVD_THETAS_DIGEST = \
+    "29fc8ca163da963b29da2f43ad4d455e1ed25d58c0016b2080655d84a3297729"
+SVD_PROPAGATE_DIGEST = \
+    "1025c6d8a3ade0143b9e9f3f7cc9c14c920f8731910367a7464076adc1eec48e"
+SVD_SCALE = 5.612104039204882
+MESH_MATRIX_DIGEST = \
+    "621df237f0cefc30c1bbb14432ac573ecf64004a35e0a602722b2b82119e107b"
+MESH_HOPS_DIGEST = \
+    "8231195dbbf6593fa29a36623699223e309b50ab3ebc450a5d2baefde07225c3"
+FABRIC_COMM_HOPS_DIGEST = \
+    "e47782c3d0f001c1acfd42dfa63be37e2071907ee50ad478a16e2784ae22867a"
+FABRIC_ATTEN_DIGEST = \
+    "2c5d535636ae6c9dcac2ec38ff492bd663a1cc0381a766d8f9fde1d1812ecbb8"
+CAMPAIGN_RECORD_DIGEST = \
+    "76e978106eabfd3ecaa8dce59dd8ad2419af6b673035292d80e519c0211e96e9"
+
+
+def digest_array(arr: np.ndarray) -> str:
+    arr = np.asarray(arr)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def digest_json(obj: object) -> str:
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+class TestProgramSVDGolden:
+    @pytest.fixture(scope="class")
+    def program(self):
+        clear_svd_cache()
+        rng = np.random.default_rng(4242)
+        matrix = rng.standard_normal((8, 8))
+        program = program_svd(matrix)
+        fields = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        return program, fields
+
+    def test_matrix(self, program):
+        assert digest_array(program[0].matrix()) == SVD_MATRIX_DIGEST
+
+    def test_sigma(self, program):
+        assert digest_array(program[0].sigma) == SVD_SIGMA_DIGEST
+
+    def test_attenuator_thetas(self, program):
+        assert digest_array(program[0].attenuator_thetas) \
+            == SVD_THETAS_DIGEST
+
+    def test_propagate(self, program):
+        prog, fields = program
+        assert digest_array(prog.propagate(fields)) == SVD_PROPAGATE_DIGEST
+
+    def test_scale(self, program):
+        assert program[0].scale == SVD_SCALE
+
+
+class TestMeshGolden:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        return decompose(random_unitary(8, np.random.default_rng(777)))
+
+    def test_matrix(self, mesh):
+        assert digest_array(mesh.matrix()) == MESH_MATRIX_DIGEST
+
+    def test_hop_trace(self, mesh):
+        assert digest_array(np.asarray(mesh.mzis_per_path())) \
+            == MESH_HOPS_DIGEST
+
+
+class TestFabricGolden:
+    @pytest.fixture(scope="class")
+    def fabric(self):
+        fabric = FlumenFabric(8)
+        fabric.configure_communication({0: 3, 1: 6, 4: 2, 7: 5})
+        return fabric
+
+    def test_comm_hop_trace(self, fabric):
+        part = fabric.partitions[0]
+        assert digest_array(np.asarray(part.comm_mesh.mzis_per_path())) \
+            == FABRIC_COMM_HOPS_DIGEST
+
+    def test_attenuator_equalization(self, fabric):
+        assert digest_array(fabric.attenuator_transmission) \
+            == FABRIC_ATTEN_DIGEST
+
+
+class TestZeroFaultCampaignGolden:
+    def test_run_record(self):
+        record = run_single(
+            CampaignSpec(fault="none", runs=1, cycles=600,
+                         golden_reference=False), 0)
+        assert digest_json(record) == CAMPAIGN_RECORD_DIGEST
