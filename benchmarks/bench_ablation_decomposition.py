@@ -1,11 +1,15 @@
-"""Ablation: Clements rectangle vs Reck triangle, and self-configuration.
+"""Ablation: mesh arrangements compared, and self-configuration.
 
 Two design choices behind the Flumen fabric:
 
-1. **Mesh arrangement.**  Both decompositions use N(N-1)/2 MZIs, but the
+1. **Mesh arrangement.**  Every registered architecture programs
+   N(N-1)/2 MZI states, but depth and physical device count differ: the
    rectangle (Clements, the paper's reference [10]) has depth N vs the
-   triangle's 2N-3 — lower worst-case insertion loss and a smaller
-   path-length spread for the attenuator column to equalize.
+   Reck triangle's 2N-3 — lower worst-case insertion loss and a smaller
+   path-length spread for the attenuator column to equalize — while the
+   recirculating brick holds only N-1 physical devices and re-traverses
+   them every pass.  The comparison now iterates the mesh-architecture
+   registry (DESIGN.md §16) instead of naming decompositions.
 2. **Self-configuration** (reference [15]): a fabricated mesh with
    systematic phase offsets is reprogrammed to the target matrix using
    only transfer-matrix measurements.
@@ -16,26 +20,27 @@ import numpy as np
 from repro.analysis.report import format_table
 from repro.config import DeviceParams
 from repro.photonics.calibration import PhaseOffsets, calibrate_to
-from repro.photonics.clements import decompose, random_unitary
-from repro.photonics.reck import decompose_reck
+from repro.photonics.clements import random_unitary
+from repro.photonics.registry import make_mesh, registered_meshes
 
 SIZES = (4, 8, 16, 32)
 
 
 def depth_and_loss():
     mzi_db = DeviceParams().mzi.insertion_loss_db
+    archs = {name: make_mesh(name) for name in registered_meshes()}
     rows = []
     for n in SIZES:
         u = random_unitary(n, np.random.default_rng(n))
-        clem = decompose(u)
-        reck = decompose_reck(u)
-        rows.append({
-            "n": n,
-            "clements_depth": clem.num_columns,
-            "reck_depth": reck.num_columns,
-            "clements_loss": clem.num_columns * mzi_db,
-            "reck_loss": reck.num_columns * mzi_db,
-        })
+        row = {"n": n}
+        for name, arch in archs.items():
+            depth = arch.decompose(u).num_columns
+            # Recirculation re-incurs the physical columns every pass,
+            # so the light path length is the virtual depth either way.
+            row[f"{name}_depth"] = depth
+            row[f"{name}_loss"] = depth * mzi_db
+            row[f"{name}_devices"] = arch.device_count(n)
+        rows.append(row)
     return rows
 
 
@@ -51,17 +56,26 @@ def calibration_sweep():
 
 def test_mesh_arrangement(benchmark):
     rows = benchmark(depth_and_loss)
-    table = [[r["n"], r["clements_depth"], r["reck_depth"],
-              f"{r['clements_loss']:.2f}", f"{r['reck_loss']:.2f}"]
+    names = list(registered_meshes())
+    table = [[r["n"]]
+             + [r[f"{name}_depth"] for name in names]
+             + [f"{r[f'{name}_loss']:.2f}" for name in names]
+             + [r[f"{name}_devices"] for name in names]
              for r in rows]
     print()
     print(format_table(
-        ["N", "Clements depth", "Reck depth",
-         "Clements loss (dB)", "Reck loss (dB)"],
-        table, title="Ablation: rectangular vs triangular mesh"))
+        ["N"]
+        + [f"{name} depth" for name in names]
+        + [f"{name} loss (dB)" for name in names]
+        + [f"{name} devices" for name in names],
+        table, title="Ablation: mesh arrangements"))
     for r in rows:
         assert r["clements_depth"] == r["n"]
         assert r["reck_depth"] == 2 * r["n"] - 3
+        # The parity re-packing adds at most one column; the brick's
+        # physical footprint is a single two-sub-column pair.
+        assert r["bricks_depth"] <= r["n"] + 1
+        assert r["bricks_devices"] == r["n"] - 1
     # The loss advantage is what justifies the paper's choice.
     big = rows[-1]
     assert big["reck_loss"] / big["clements_loss"] > 1.8

@@ -176,26 +176,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         log.error("--jobs must be >= 1, got %d", args.jobs)
         return 2
 
-    known_workloads = [wl.name for wl in paper_workloads()]
-    known_configs = configuration_names()
-    workloads = list(dict.fromkeys(args.workloads or known_workloads))
-    configs = list(dict.fromkeys(args.configs or known_configs))
-    for name in workloads:
-        if name not in known_workloads:
-            log.error("unknown workload %r; choose from %s",
-                      name, known_workloads)
-            return 2
-    for cfg in configs:
-        if cfg not in known_configs:
-            log.error("unknown configuration %r; choose from %s",
-                      cfg, list(known_configs))
+    from repro.photonics.registry import registered_meshes
+
+    known_meshes = registered_meshes()
+    meshes = list(dict.fromkeys(args.mesh or []))
+    for mesh in meshes:
+        if mesh not in known_meshes:
+            log.error("unknown mesh architecture %r; choose from %s",
+                      mesh, list(known_meshes))
             return 2
 
     shapes = "small" if args.small else "paper"
-    points = [PointSpec(key=f"{wl}/{cfg}",
+    if args.task == "mesh_comparison":
+        # Architecture grid: one point per registered (or selected)
+        # mesh arrangement, all hit with the same seeded target and
+        # fault doses (DESIGN.md §16).
+        points = [PointSpec(key=f"mesh/{mesh}",
+                            params={"architecture": mesh})
+                  for mesh in (meshes or list(known_meshes))]
+    else:
+        known_workloads = [wl.name for wl in paper_workloads()]
+        known_configs = configuration_names()
+        workloads = list(dict.fromkeys(args.workloads or known_workloads))
+        configs = list(dict.fromkeys(args.configs or known_configs))
+        for name in workloads:
+            if name not in known_workloads:
+                log.error("unknown workload %r; choose from %s",
+                          name, known_workloads)
+                return 2
+        for cfg in configs:
+            if cfg not in known_configs:
+                log.error("unknown configuration %r; choose from %s",
+                          cfg, list(known_configs))
+                return 2
+        points = []
+        for wl in workloads:
+            for cfg in configs:
+                # No --mesh keeps the exact pre-registry keys/params, so
+                # existing sweep caches and the CI byte-compares stay
+                # valid.
+                if not meshes:
+                    points.append(PointSpec(
+                        key=f"{wl}/{cfg}",
                         params={"workload": wl, "configuration": cfg,
-                                "shapes": shapes})
-              for wl in workloads for cfg in configs]
+                                "shapes": shapes}))
+                    continue
+                for mesh in meshes:
+                    points.append(PointSpec(
+                        key=f"{wl}/{cfg}/{mesh}",
+                        params={"workload": wl, "configuration": cfg,
+                                "shapes": shapes,
+                                "mesh_architecture": mesh}))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
     if args.progress and log.getEffectiveLevel() > logging.INFO:
@@ -212,17 +243,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     engine = SweepEngine(jobs=args.jobs, cache=cache,
                          progress=progress if args.progress else None,
                          obs=obs)
-    run = engine.run("system_point", points, base_seed=args.seed)
+    run = engine.run(args.task, points, base_seed=args.seed)
 
-    rows = [[r.metrics["workload"], r.metrics["configuration"],
-             f"{r.metrics['runtime_s'] * 1e6:.1f}",
-             f"{r.metrics['energy_total_j'] * 1e6:.1f}",
-             f"{r.metrics['edp_js'] * 1e9:.3f}"]
-            for r in run.ok_results()]
-    emit(format_table(
-        ["workload", "config", "runtime (us)", "energy (uJ)",
-         "EDP (nJ*s)"],
-        rows, title=f"System sweep ({shapes} shapes, jobs={args.jobs})"))
+    if args.task == "mesh_comparison":
+        rows = [[r.metrics["architecture"],
+                 f"{r.metrics['measured_columns']:.0f}",
+                 f"{r.metrics['device_count']:.0f}",
+                 f"{r.metrics['passes']:.0f}",
+                 f"{r.metrics['drift_error']:.3f}",
+                 f"{r.metrics['recalibrated_error']:.2e}",
+                 f"{r.metrics['stuck_error']:.3f}",
+                 f"{r.metrics['energy_per_mac_j'] * 1e12:.3f}"]
+                for r in run.ok_results()]
+        emit(format_table(
+            ["architecture", "depth", "devices", "passes", "drift err",
+             "recal err", "stuck err", "pJ/MAC"],
+            rows, title=f"Mesh architecture comparison "
+                        f"(jobs={args.jobs}, seed={args.seed})"))
+    else:
+        rows = [[r.metrics["workload"], r.metrics["configuration"],
+                 f"{r.metrics['runtime_s'] * 1e6:.1f}",
+                 f"{r.metrics['energy_total_j'] * 1e6:.1f}",
+                 f"{r.metrics['edp_js'] * 1e9:.3f}"]
+                for r in run.ok_results()]
+        emit(format_table(
+            ["workload", "config", "runtime (us)", "energy (uJ)",
+             "EDP (nJ*s)"],
+            rows,
+            title=f"System sweep ({shapes} shapes, jobs={args.jobs})"))
     for failure in run.failed_results():
         log.error("FAILED %s: %s", failure.key, failure.error)
     emit(f"telemetry: {run.telemetry.summary()}")
@@ -316,11 +364,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_metrics_jsonl,
     )
 
+    if args.mesh is not None:
+        from repro.photonics.registry import registered_meshes
+        if args.mesh not in registered_meshes():
+            log.error("unknown mesh architecture %r; choose from %s",
+                      args.mesh, list(registered_meshes()))
+            return 2
+
     shapes = "small" if args.small else "paper"
     log.info("tracing %s under %s (%s shapes, seed=%d)",
              args.workload, args.config, shapes, args.seed)
     trace = trace_workload(args.workload, configuration=args.config,
-                           shapes=shapes, traffic_seed=args.seed)
+                           shapes=shapes, traffic_seed=args.seed,
+                           mesh_architecture=args.mesh)
 
     coverage = trace.layer_coverage()
     emit(format_table(
@@ -368,6 +424,11 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             log.error("unknown fault kind %r; choose from %s",
                       kind, list(known))
             return 2
+    from repro.photonics.registry import registered_meshes
+    if args.mesh not in registered_meshes():
+        log.error("unknown mesh architecture %r; choose from %s",
+                  args.mesh, list(registered_meshes()))
+        return 2
 
     points = []
     for kind in faults:
@@ -377,9 +438,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         for magnitude in magnitudes:
             params = {"fault": kind, "magnitude": float(magnitude),
                       "runs": args.runs, "cycles": args.cycles,
-                      "golden_reference": not args.no_golden}
-            points.append(PointSpec(key=f"{kind}/m{magnitude:g}",
-                                    params=params))
+                      "golden_reference": not args.no_golden,
+                      "mesh_architecture": args.mesh}
+            key = f"{kind}/m{magnitude:g}"
+            if args.mesh != "clements":
+                key += f"/{args.mesh}"
+            points.append(PointSpec(key=key, params=params))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     engine = SweepEngine(jobs=args.jobs, cache=cache)
     run = engine.run("fault_point", points, base_seed=args.seed)
@@ -435,14 +499,23 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     if args.tolerance <= 0:
         log.error("--tolerance must be > 0, got %g", args.tolerance)
         return 2
+    only = args.only
+    if args.mesh is not None:
+        from repro.photonics.registry import registered_meshes
+        if args.mesh not in registered_meshes():
+            log.error("unknown mesh architecture %r; choose from %s",
+                      args.mesh, list(registered_meshes()))
+            return 2
+        if only is None:
+            only = f"mesh_depth/{args.mesh}"
 
     def progress(name: str) -> None:
         log.info("running %s", name)
 
-    payload = perf.run_suite(small=args.small, only=args.only,
+    payload = perf.run_suite(small=args.small, only=only,
                              progress=progress)
     if not payload["benchmarks"]:
-        log.error("no benchmarks matched --only %r", args.only)
+        log.error("no benchmarks matched --only %r", only)
         return 2
 
     rows = []
@@ -537,6 +610,17 @@ def main(argv: list[str] | None = None) -> int:
                      help="workload subset (default: all five)")
     swp.add_argument("--configs", nargs="+", metavar="CFG",
                      help="configuration subset (default: all five)")
+    swp.add_argument("--task", default="system_point",
+                     choices=["system_point", "mesh_comparison"],
+                     help="sweep task: the workload x configuration "
+                          "system grid, or the per-mesh-architecture "
+                          "accuracy/depth/energy comparison (default: "
+                          "system_point)")
+    swp.add_argument("--mesh", nargs="+", metavar="ARCH",
+                     help="mesh architecture subset (registry names; "
+                          "default: the Clements default for "
+                          "system_point, every registered arrangement "
+                          "for mesh_comparison)")
     swp.add_argument("--jobs", type=int, default=1,
                      help="worker processes (default: 1)")
     swp.add_argument("--no-cache", action="store_true",
@@ -616,6 +700,9 @@ def main(argv: list[str] | None = None) -> int:
     trc.add_argument("--check", action="store_true",
                      help="schema-check the emitted trace; nonzero exit "
                           "on problems or missing layers")
+    trc.add_argument("--mesh", default=None, metavar="ARCH",
+                     help="mesh architecture for the fabric mirror "
+                          "(registry name; default: clements)")
 
     flt = sub.add_parser(
         "faults", help="fault-injection campaigns with graceful "
@@ -648,6 +735,10 @@ def main(argv: list[str] | None = None) -> int:
                      help="write campaign records as JSON")
     flt.add_argument("--csv", default=None, metavar="PATH",
                      help="write flattened per-run rows as CSV")
+    flt.add_argument("--mesh", default="clements", metavar="ARCH",
+                     help="mesh architecture the compute partition "
+                          "under test is decomposed with (default: "
+                          "clements)")
 
     prf = sub.add_parser(
         "perf", help="pinned performance suite -> BENCH_<rev>.json, "
@@ -676,6 +767,10 @@ def main(argv: list[str] | None = None) -> int:
                      help="append a markdown report (suite table + "
                           "baseline trend) to PATH — in CI, pass "
                           "\"$GITHUB_STEP_SUMMARY\"")
+    prf.add_argument("--mesh", default=None, metavar="ARCH",
+                     help="run only the mesh_depth benchmark of one "
+                          "architecture (shorthand for --only "
+                          "mesh_depth/ARCH)")
 
     args = parser.parse_args(argv)
     logging.basicConfig(

@@ -139,6 +139,41 @@ def _bench_svd_cache(n: int, small: bool) -> dict:
     }
 
 
+def _bench_mesh_depth(architecture: str, n: int, small: bool) -> dict:
+    """Decompose + propagate one architecture; depth/device accounting.
+
+    The digest covers the reconstructed matrix and a fixed-field
+    propagation, so a change in any architecture's factorization or
+    column packing fails the baseline compare, and the record carries
+    the depth/device counts the energy model bills for.
+    """
+    from repro.photonics.clements import random_unitary
+    from repro.photonics.registry import make_mesh
+
+    arch = make_mesh(architecture)
+    u = random_unitary(n, np.random.default_rng(3000 + n))
+    fields = _fixed_fields(n)
+    reps = 2 if small else 6
+    dec_s = _time_calls(lambda: arch.decompose(u), reps)
+    mesh = arch.decompose(u)
+    arch.propagate(mesh, fields)  # warm the propagation plan
+    prop_s = _time_calls(lambda: arch.propagate(mesh, fields),
+                         reps * 10)
+    return {
+        "wall_s": dec_s * reps,
+        "per_call_s": dec_s,
+        "propagate_per_call_s": prop_s,
+        "meta": {"architecture": architecture, "n": n,
+                 "depth_bound": arch.depth(n),
+                 "measured_columns": mesh.num_columns,
+                 "device_count": arch.device_count(n),
+                 "passes": arch.passes(n)},
+        "digest": _digest_array(np.concatenate([
+            arch.matrix(mesh).ravel(),
+            arch.propagate(mesh, fields).ravel()])),
+    }
+
+
 def _run_noc_kernel(topology: str, nodes: int, traffic_fn, cycles: int,
                     warmup: int, vectorized: bool) -> tuple[float, dict]:
     """One timed network run; returns (wall seconds, output summary)."""
@@ -462,6 +497,12 @@ BENCHMARKS: list[tuple[str, bool, object]] = [
     ("mesh_trace_hops/n64", True, lambda small: _bench_trace_hops(64, small)),
     ("svd_program_cache/n16", True,
      lambda small: _bench_svd_cache(16, small)),
+    ("mesh_depth/clements", True,
+     lambda small: _bench_mesh_depth("clements", 16, small)),
+    ("mesh_depth/reck", True,
+     lambda small: _bench_mesh_depth("reck", 16, small)),
+    ("mesh_depth/bricks", True,
+     lambda small: _bench_mesh_depth("bricks", 16, small)),
     ("noc_idle_run/mesh64", True, _bench_noc_idle),
     ("noc_step/mesh16_load08", True, _bench_noc_step),
     ("noc_trace_replay/mesh16_bursty", True, _bench_noc_trace),

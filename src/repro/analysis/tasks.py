@@ -16,6 +16,11 @@ name.  The registered set covers the repository's standing experiments:
     One fault-injection campaign (DESIGN.md §12): inject a seeded fault
     mid-run, detect it, walk the degradation ladder, and report
     accuracy/overhead/recovery statistics (``python -m repro faults``).
+``mesh_comparison``
+    One mesh architecture's accuracy/depth/device/energy point
+    (DESIGN.md §16): decomposition fidelity, drift and stuck-device
+    degradation, recalibration residual, and the compute-energy window
+    under that architecture's depth/device accounting.
 ``selftest``
     A cheap deterministic task exercised by the engine's own tests and
     the CI smoke job; ``params={"fail": true}`` raises on purpose to
@@ -97,14 +102,20 @@ def system_point(params: dict, seed: int) -> dict:
     ``traffic_seed`` (optional override of the engine-derived seed),
     ``vectorized`` (NoP backend selection: absent/None serves the
     struct-of-arrays twin, ``false`` pins the per-object oracle — the
-    perf suite's equivalence leg uses this).
+    perf suite's equivalence leg uses this), ``mesh_architecture``
+    (registry name; absent = the SystemConfig default, Clements).
     """
     # Resolve early so an unknown name fails with the registered list
     # before any simulation work happens.
     configuration = get_configuration(params["configuration"]).name
     workload = _find_workload(params["workload"],
                               params.get("shapes", "paper"))
-    model = SystemModel(traffic_seed=int(params.get("traffic_seed", seed)),
+    system = None
+    if params.get("mesh_architecture"):
+        system = SystemConfig().replace(
+            mesh_architecture=str(params["mesh_architecture"]))
+    model = SystemModel(system=system,
+                        traffic_seed=int(params.get("traffic_seed", seed)),
                         vectorized=params.get("vectorized"))
     return run_to_record(model.run(workload, configuration))
 
@@ -238,6 +249,79 @@ def fault_point(params: dict, seed: int) -> dict:
         if key in kwargs:
             kwargs[key] = int(kwargs[key])
     return run_fault_campaign(CampaignSpec(**kwargs))
+
+
+@register_task("mesh_comparison", context=_parameter_tables)
+def mesh_comparison(params: dict, seed: int) -> dict:
+    """One architecture's accuracy/depth/device/energy point.
+
+    Params: ``architecture`` (a :mod:`repro.photonics.registry` name),
+    ``ports`` (mesh size, default 8), ``vectors`` (MVMs per compute
+    window, default 8), ``drift_sigma`` (phase-drift step, rad, default
+    0.02), ``traffic_seed`` (optional override of the engine-derived
+    seed).  The same seeded target unitary and fault doses hit every
+    architecture, so rows differ only by arrangement — the 2507.22972
+    complexity-vs-energy comparison as one grid axis.
+    """
+    import numpy as np
+
+    from repro.analysis.engine import point_seed
+    from repro.faults.injector import FaultyMesh
+    from repro.photonics.calibration import (
+        calibrate_by_decomposition,
+        matrix_error,
+    )
+    from repro.photonics.clements import random_unitary
+    from repro.photonics.compute_energy import MZIMComputeModel
+    from repro.photonics.devices import BAR_THETA
+    from repro.photonics.registry import make_mesh
+
+    name = str(params["architecture"])
+    arch = make_mesh(name)
+    ports = int(params.get("ports", 8))
+    vectors = int(params.get("vectors", 8))
+    drift_sigma = float(params.get("drift_sigma", 0.02))
+    base_seed = int(params.get("traffic_seed", seed))
+    target = random_unitary(ports, np.random.default_rng(base_seed))
+    mesh = arch.decompose(target)
+    fields = np.eye(ports, dtype=complex)[:, 0]
+    propagate_error = float(np.linalg.norm(
+        arch.propagate(mesh, fields) - target @ fields))
+
+    drifted = FaultyMesh(arch.decompose(target), architecture=arch)
+    drifted.drift(drift_sigma,
+                  np.random.default_rng(point_seed(base_seed, "drift")))
+    drift_error = matrix_error(drifted.measure(), target)
+    recal = calibrate_by_decomposition(drifted, target, iterations=2,
+                                       architecture=name)
+
+    stuck = FaultyMesh(arch.decompose(target), architecture=arch)
+    stuck_index = stuck.num_mzis // 2
+    stuck.stick(stuck_index, BAR_THETA)
+    stuck_error = matrix_error(stuck.measure(), target)
+
+    model = MZIMComputeModel(architecture=name)
+    energy = model.matmul_energy(ports, vectors)
+    return {
+        "architecture": name,
+        "ports": float(ports),
+        "depth_bound": float(arch.depth(ports)),
+        "measured_columns": float(mesh.num_columns),
+        "device_count": float(arch.device_count(ports)),
+        "program_mzi_count": float(arch.program_mzi_count(ports)),
+        "passes": float(arch.passes(ports)),
+        "svd_mzi_count": float(model.svd_mzi_count(ports)),
+        "svd_mesh_columns": float(model.mesh_columns(ports)),
+        "decomposition_error": matrix_error(arch.matrix(mesh), target),
+        "propagate_error": propagate_error,
+        "drift_error": drift_error,
+        "recalibrated_error": recal.final_error,
+        "stuck_error": stuck_error,
+        "stuck_domain_size": float(len(stuck.stuck)),
+        "compute_energy_j": energy.total,
+        "energy_per_mac_j": energy.per_mac,
+        "laser_power_per_vector_w": model.laser_power_per_vector_w(ports),
+    }
 
 
 @register_task("selftest")

@@ -78,21 +78,28 @@ def trace_workload(workload_name: str,
                    configuration: str = DEFAULT_CONFIGURATION,
                    shapes: str = "paper",
                    traffic_seed: int = 17,
-                   obs: Obs | None = None) -> TraceRun:
+                   obs: Obs | None = None,
+                   mesh_architecture: str | None = None) -> TraceRun:
     """Run one workload with full instrumentation attached.
 
     ``flumen_a`` (the default) is the only configuration whose execution
     path touches the scheduler and photonic fabric; baselines still
     produce engine/multicore/noc events.  Pass ``obs`` to substitute a
     different bundle (e.g. :meth:`Obs.telemetry` for a streaming
-    event-log/snapshot run without the Chrome tracer).
+    event-log/snapshot run without the Chrome tracer), and
+    ``mesh_architecture`` (a registry name) to trace the fabric mirror
+    under a non-Clements arrangement.
     """
     from repro.analysis.tasks import _find_workload
 
     configuration = get_configuration(configuration).name
     workload = _find_workload(workload_name, shapes)
     obs = obs if obs is not None else Obs.active()
-    model = SystemModel(traffic_seed=traffic_seed, obs=obs)
+    system = None
+    if mesh_architecture is not None:
+        from repro.config import SystemConfig
+        system = SystemConfig().replace(mesh_architecture=mesh_architecture)
+    model = SystemModel(system=system, traffic_seed=traffic_seed, obs=obs)
     run = model.run(workload, configuration)
     return TraceRun(workload=workload_name, configuration=configuration,
                     shapes=shapes, traffic_seed=traffic_seed,

@@ -159,6 +159,11 @@ class SystemConfig:
     phot_link: PhotonicLinkConfig = field(default_factory=PhotonicLinkConfig)
     compute: FlumenComputeConfig = field(default_factory=FlumenComputeConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Mesh arrangement (a :mod:`repro.photonics.registry` name) the
+    #: compute partitions program their SVD circuits with.  The paper's
+    #: platform uses the Clements rectangle; alternatives trade device
+    #: count against optical depth (see the ``mesh_comparison`` task).
+    mesh_architecture: str = "clements"
     #: Cap on packets fed to the NoP cycle simulator per system run;
     #: heavier memory traces are subsampled and the energy counters
     #: rescaled.  Every rescale is logged (logger ``repro.system``) so

@@ -38,6 +38,10 @@ class ConfigPipeline:
     topology: str
     link_energy: str = "electrical"
     compute_path: str = "core"
+    #: Mesh arrangement for the photonic compute path (a
+    #: :mod:`repro.photonics.registry` name); ``None`` inherits
+    #: ``SystemConfig.mesh_architecture``.
+    mesh_architecture: str | None = None
 
     def __post_init__(self) -> None:
         if self.link_energy not in LINK_ENERGY_KINDS:
@@ -48,6 +52,11 @@ class ConfigPipeline:
             raise ValueError(
                 f"compute_path must be one of {COMPUTE_PATHS}, "
                 f"got {self.compute_path!r}")
+        if self.mesh_architecture is not None:
+            from repro.photonics.registry import (
+                mesh_factory,  # validates the name, listing known ones
+            )
+            mesh_factory(self.mesh_architecture)
 
 
 _PIPELINES: dict[str, ConfigPipeline] = {}

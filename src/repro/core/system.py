@@ -123,7 +123,9 @@ class SystemModel:
         self.offload_stall_fraction = 0.25
         self.energy_model = CoreEnergyModel()
         self.net_energy = NetworkEnergyModel(system=self.system)
-        self.mzim_model = MZIMComputeModel(compute=self.system.compute)
+        self.mzim_model = MZIMComputeModel(
+            compute=self.system.compute,
+            architecture=self.system.mesh_architecture)
 
     # ------------------------------------------------------------------
     # shared pieces
@@ -419,7 +421,10 @@ class SystemModel:
             # so the reprogramming timeline (phase-write counts) shows up;
             # the null path skips the SVD decompositions entirely.
             from repro.photonics.fabric import FlumenFabric
-            fabric = FlumenFabric(control.fabric_ports, obs=self.obs)
+            fabric = FlumenFabric(
+                control.fabric_ports, obs=self.obs,
+                mesh_architecture=(pipeline.mesh_architecture
+                                   or self.system.mesh_architecture))
         scheduler = FlumenScheduler(control, self.system, obs=self.obs,
                                     fabric=fabric)
         # One compute request per phase, holding half the fabric for the

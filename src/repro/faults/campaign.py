@@ -82,6 +82,9 @@ class CampaignSpec:
         max_backoff_cycles=512))
     #: Attach the golden-numbers cross-check to zero-fault campaigns.
     golden_reference: bool = True
+    #: Mesh arrangement (a :mod:`repro.photonics.registry` name) the
+    #: compute partition under test is decomposed with.
+    mesh_architecture: str = "clements"
 
     def __post_init__(self) -> None:
         if self.fault != NO_FAULT:
@@ -90,6 +93,8 @@ class CampaignSpec:
             raise ValueError(f"runs must be >= 1, got {self.runs}")
         if self.cycles < 64:
             raise ValueError(f"cycles must be >= 64, got {self.cycles}")
+        from repro.photonics.registry import mesh_factory
+        mesh_factory(self.mesh_architecture)  # raises listing known names
 
     def to_dict(self) -> dict:
         record = dataclasses.asdict(self)
@@ -119,9 +124,20 @@ class _CampaignRun:
         self.system = SystemConfig()
         self.devices = DeviceParams()
         self.ports = spec.ports
+        # Clements stays on the direct path (bit-identical to the golden
+        # pins); alternatives resolve through the registry, and stuck
+        # faults widen to the architecture's physical fault domains.
+        if spec.mesh_architecture == "clements":
+            self._decompose = decompose
+            self._fault_arch = None
+        else:
+            from repro.photonics.registry import make_mesh
+            self._fault_arch = make_mesh(spec.mesh_architecture)
+            self._decompose = self._fault_arch.decompose
         self.target = random_unitary(spec.ports, self.rng)
         self.domain = FaultDomain(
-            mesh=FaultyMesh(decompose(self.target)))
+            mesh=FaultyMesh(self._decompose(self.target),
+                            architecture=self._fault_arch))
         self.net = FlumenNetwork(spec.nodes, obs=obs)
         self.domain.network = self.net
         self.ladder = DegradationLadder(
@@ -180,8 +196,9 @@ class _CampaignRun:
     # -- ladder rung actions ----------------------------------------------
 
     def _act_recalibrate(self) -> None:
-        calibrate_by_decomposition(self.domain.mesh, self.target,
-                                   iterations=1)
+        calibrate_by_decomposition(
+            self.domain.mesh, self.target, iterations=1,
+            architecture=self.spec.mesh_architecture)
         self.recalibrations += 1
 
     def _act_shrink(self, cycle: int) -> None:
@@ -198,7 +215,8 @@ class _CampaignRun:
         sub_rng = np.random.default_rng(
             point_seed(self.seed, f"shrink/{cycle}"))
         self.target = random_unitary(new_ports, sub_rng)
-        self.domain.mesh = FaultyMesh(decompose(self.target))
+        self.domain.mesh = FaultyMesh(self._decompose(self.target),
+                                      architecture=self._fault_arch)
         self.recalibrations += 1  # the new block is programmed once
 
     def _act_reroute(self) -> None:

@@ -40,22 +40,39 @@ class FaultyMesh(PhysicalMesh):
 
     ``offsets`` defaults to none (a perfectly calibrated part), so a
     fresh :class:`FaultyMesh` measures exactly its programmed matrix
-    until a fault is injected.
+    until a fault is injected.  ``architecture`` (a registry name or
+    :class:`~repro.photonics.registry.MeshArchitecture`) widens stuck
+    faults to the physical device's full fault domain — on recirculating
+    meshes one dead heater pins every virtual MZI it serves.
     """
 
     def __init__(self, ideal: MZIMesh,
-                 offsets: PhaseOffsets | None = None) -> None:
+                 offsets: PhaseOffsets | None = None,
+                 architecture=None) -> None:
         super().__init__(ideal, offsets or PhaseOffsets.none(ideal.num_mzis))
+        if architecture is not None:
+            from repro.photonics.registry import make_mesh
+            architecture = make_mesh(architecture)
+        self.architecture = architecture
         #: MZI index -> pinned theta; wins over programming and offsets.
         self.stuck: dict[int, float] = {}
         self.drift_steps = 0
 
     def stick(self, index: int, theta: float) -> None:
-        """Pin one MZI's realized theta (dead heater / shorted driver)."""
+        """Pin one physical device's realized theta (dead heater).
+
+        With an ``architecture`` set, every virtual MZI sharing the
+        device sticks too.
+        """
         if not 0 <= index < self.num_mzis:
             raise ValueError(
                 f"MZI index {index} out of range [0, {self.num_mzis})")
-        self.stuck[index] = float(theta)
+        if self.architecture is None:
+            domain: tuple[int, ...] = (index,)
+        else:
+            domain = self.architecture.fault_domain(self._structure, index)
+        for i in domain:
+            self.stuck[i] = float(theta)
 
     def drift(self, sigma_rad: float, rng: np.random.Generator) -> None:
         """One Brownian step: every hidden offset random-walks."""

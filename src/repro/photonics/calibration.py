@@ -158,27 +158,38 @@ def self_configure(mesh: PhysicalMesh, target: np.ndarray,
 
 
 def calibrate_by_decomposition(mesh: PhysicalMesh, target: np.ndarray,
-                               iterations: int = 2) -> CalibrationResult:
+                               iterations: int = 2,
+                               architecture: str | None = None
+                               ) -> CalibrationResult:
     """Matrix-inversion self-configuration: one-shot offset estimation.
 
-    Because the Clements factorization of a generic unitary is unique
-    given the mesh structure, decomposing the *measured* transfer matrix
+    Because the mesh factorization of a generic unitary is unique given
+    the mesh structure, decomposing the *measured* transfer matrix
     recovers the physically realized phases; subtracting the programmed
     values yields the hidden offsets, and reprogramming
     ``ideal - offset`` lands on the target to machine precision.  A
     second iteration mops up ``theta`` values that clipped at the
     physical range boundary.
 
+    ``architecture`` must match the arrangement ``mesh`` was decomposed
+    with (registry name; ``None`` = Clements) so the recovered factor
+    order lines up with the mesh's propagation order.
+
     This is the fast path a controller with full transceiver access uses
     (Hamerly et al., reference [15]); :func:`self_configure` remains as
     the measurement-only fallback.
     """
+    if architecture is None or architecture == "clements":
+        decompose_fn = decompose
+    else:
+        from repro.photonics.registry import make_mesh
+        decompose_fn = make_mesh(architecture).decompose
     target = np.asarray(target, dtype=complex)
-    ideal = decompose(target)
+    ideal = decompose_fn(target)
     initial = matrix_error(mesh.measure(), target)
     history = [initial]
     for _ in range(iterations):
-        estimated = decompose(mesh.measure())
+        estimated = decompose_fn(mesh.measure())
         for i in range(mesh.num_mzis):
             est_theta = estimated.mzis[i].theta
             est_phi = estimated.mzis[i].phi
@@ -201,17 +212,24 @@ def calibrate_by_decomposition(mesh: PhysicalMesh, target: np.ndarray,
 
 
 def calibrate_to(target: np.ndarray, offsets: PhaseOffsets,
-                 sweeps: int = 3, method: str = "decomposition"
-                 ) -> CalibrationResult:
+                 sweeps: int = 3, method: str = "decomposition",
+                 architecture: str | None = None) -> CalibrationResult:
     """Convenience wrapper: decompose, fabricate with offsets, calibrate.
 
     ``method`` is "decomposition" (fast, full-matrix measurements) or
-    "descent" (generic coordinate descent).
+    "descent" (generic coordinate descent); ``architecture`` selects the
+    mesh arrangement (registry name; ``None`` = Clements).
     """
-    mesh = PhysicalMesh(decompose(np.asarray(target, dtype=complex)),
+    if architecture is None or architecture == "clements":
+        decompose_fn = decompose
+    else:
+        from repro.photonics.registry import make_mesh
+        decompose_fn = make_mesh(architecture).decompose
+    mesh = PhysicalMesh(decompose_fn(np.asarray(target, dtype=complex)),
                         offsets)
     if method == "decomposition":
-        return calibrate_by_decomposition(mesh, target)
+        return calibrate_by_decomposition(mesh, target,
+                                          architecture=architecture)
     if method == "descent":
         return self_configure(mesh, target, sweeps=sweeps)
     raise ValueError(f"unknown calibration method {method!r}")

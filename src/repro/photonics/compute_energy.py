@@ -79,14 +79,29 @@ class MZIMComputeModel:
     devices: DeviceParams = field(default_factory=DeviceParams)
     compute: FlumenComputeConfig = field(default_factory=FlumenComputeConfig)
     calibration: ComputeCalibration = field(default_factory=ComputeCalibration)
+    #: Mesh arrangement (registry name) the counts below account for.
+    architecture: str = "clements"
+
+    def _arch(self):
+        from repro.photonics.registry import make_mesh
+        return make_mesh(self.architecture)
 
     def svd_mzi_count(self, n: int) -> int:
-        """MZIs in an ``n``-input SVD MZIM: n^2 (Section 3.1.1)."""
-        return n * n
+        """Physical MZIs in an ``n``-input SVD MZIM.
+
+        Two unitary meshes plus the Sigma attenuator column; Clements
+        gives the paper's ``n^2`` (Section 3.1.1), device-frugal
+        arrangements (e.g. recirculating bricks) hold fewer phases.
+        """
+        return 2 * self._arch().device_count(n) + n
 
     def mesh_columns(self, n: int) -> int:
-        """Mesh depth of an SVD circuit: two unitary meshes + Sigma."""
-        return 2 * n + 1
+        """Mesh depth of an SVD circuit: two unitary meshes + Sigma.
+
+        Clements gives the paper's ``2n + 1``; deeper arrangements pay
+        correspondingly more compounded insertion loss.
+        """
+        return 2 * self._arch().depth(n) + 1
 
     def window_s(self, vectors: int, wavelengths: int | None = None,
                  include_programming: bool = True) -> float:

@@ -88,11 +88,16 @@ class FlumenFabric:
     """
 
     def __init__(self, n: int, devices: DeviceParams | None = None,
-                 obs: Obs = NULL_OBS) -> None:
+                 obs: Obs = NULL_OBS,
+                 mesh_architecture: str = "clements") -> None:
         if n < 4 or n % 2:
             raise ValueError(f"fabric needs an even port count >= 4, got {n}")
         self.n = n
         self.devices = devices or DeviceParams()
+        #: Mesh arrangement (registry name) compute partitions program
+        #: their SVD circuits with.  Communication routing stays on the
+        #: physical crossbar regardless.
+        self.mesh_architecture = mesh_architecture
         #: Linear power transmission programmed into each attenuating MZI.
         self.attenuator_transmission = np.ones(n)
         self.partitions: list[Partition] = [
@@ -261,7 +266,8 @@ class FlumenFabric:
             raise FabricError(
                 f"matrix shape {matrix.shape} does not match partition size "
                 f"{partition.size}")
-        partition.svd = program_svd(matrix)
+        partition.svd = program_svd(matrix,
+                                    architecture=self.mesh_architecture)
         self.reconfiguration_time_s += self.devices.mzi.compute_program_time_s
         self.compute_configs += 1
         self._m_compute_configs.inc()

@@ -81,11 +81,20 @@ def _finalize(mesh: MZIMesh, u: np.ndarray,
     return mesh
 
 
-def depth_comparison(n: int) -> dict[str, int]:
-    """Worst-case mesh depth (columns) of both arrangements at size n."""
-    from repro.photonics.clements import decompose, random_unitary
-    u = random_unitary(n, np.random.default_rng(n))
-    return {
-        "clements": decompose(u).num_columns,
-        "reck": decompose_reck(u).num_columns,
-    }
+def depth_comparison(n: int,
+                     rng: np.random.Generator | int | None = None
+                     ) -> dict[str, int]:
+    """Measured mesh depth (columns) of every registered architecture.
+
+    ``rng`` seeds the sample unitary explicitly (a Generator or an int
+    seed; ``None`` = seed 0) — previously the seed was derived from ``n``
+    itself, which conflated mesh size with the random draw and made
+    cross-size comparisons statistically meaningless.
+    """
+    from repro.photonics.clements import random_unitary
+    from repro.photonics.registry import make_mesh, registered_meshes
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(0 if rng is None else rng)
+    u = random_unitary(n, rng)
+    return {name: make_mesh(name).decompose(u).num_columns
+            for name in registered_meshes()}

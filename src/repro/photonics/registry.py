@@ -1,0 +1,309 @@
+"""Registry of mesh architectures (the photonic twin of ``noc/registry``).
+
+Maps an architecture name to a factory ``(**kwargs) -> MeshArchitecture``.
+The SVD programmer, the Flumen fabric, the calibration loop, the fault
+campaign, the sweep tasks and the CLIs all resolve architectures here, so
+adding a mesh arrangement is one :func:`register_mesh` call — no edits to
+the decomposition call sites, the energy model, or the sweeps.
+
+Each name may carry **two** factories: the per-MZI reference
+implementation (the bit-identity *oracle*) and a columnized
+``vectorized=True`` twin.  Dispatch prefers the vectorized factory when
+one exists — callers are none the wiser — while
+``mesh_factory(name, vectorized=False)`` always reaches the oracle,
+which is how the equivalence suite pins the two implementations against
+each other (the same split DESIGN.md §13 established for the NoP
+kernels).
+
+A :class:`MeshArchitecture` fixes the contract every fabric must
+satisfy: decompose-to-mesh, exact ``matrix``/``propagate`` (vectorized
+or oracle per the registration slot), hop tracing for per-path loss,
+per-column metadata for :mod:`repro.photonics.batch` stacking, device
+enumeration + fault domains for the injector, and depth/device-count
+accounting for the energy model.
+
+The three architectures register themselves below with lazy imports
+(the factories import their decomposition module on first use), keeping
+this module import-cycle-free and cheap to load.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.clements import MZIMesh, _reference_trace_hops
+
+
+@dataclass(frozen=True)
+class MeshArchitecture:
+    """One mesh arrangement: decomposition, simulation, and accounting.
+
+    Instances are stateless dispatch tables — the mesh *program* stays an
+    :class:`~repro.photonics.clements.MZIMesh` (MZI states in propagation
+    order plus the output phase screen), which every architecture shares;
+    the architecture decides how a unitary is factored onto it, how the
+    virtual columns map to physical hardware, and what the depth/device
+    accounting of that hardware is.
+    """
+
+    name: str
+    #: Vectorized (columnized) simulation when True; the per-MZI
+    #: reference oracle when False.
+    vectorized: bool
+    #: ``(unitary, tol) -> MZIMesh`` in propagation order.
+    decompose_fn: Callable[..., MZIMesh]
+    #: Worst-case virtual mesh columns at size ``n``.
+    depth_fn: Callable[[int], int]
+    #: Physical MZI devices a size-``n`` unitary mesh occupies.
+    device_count_fn: Callable[[int], int]
+    #: Recirculation passes through the physical structure (1 for
+    #: single-pass rectangles/triangles).
+    passes_fn: Callable[[int], int]
+    #: ``(mesh, index) -> tuple`` of virtual MZI indices sharing the
+    #: physical device of ``index`` (None: devices map one-to-one).
+    fault_domain_fn: Callable | None = None
+
+    # -- decomposition & simulation ------------------------------------
+
+    def decompose(self, unitary: np.ndarray, tol: float = 1e-9) -> MZIMesh:
+        """Factor ``unitary`` into this architecture's mesh program."""
+        return self.decompose_fn(unitary, tol)
+
+    def matrix(self, mesh: MZIMesh) -> np.ndarray:
+        """Exact reconstruction of the implemented unitary."""
+        return mesh.matrix()
+
+    def propagate(self, mesh: MZIMesh, fields: np.ndarray) -> np.ndarray:
+        """Forward E-field propagation, vectorized or oracle per slot."""
+        if self.vectorized:
+            return mesh.propagate(fields)
+        return mesh._reference_propagate(fields)
+
+    def trace_hops(self, mesh: MZIMesh) -> np.ndarray:
+        """Per-path MZI counts (``hops[out, in]``; -1 = unconnected)."""
+        if self.vectorized:
+            return mesh.mzis_per_path()
+        return _reference_trace_hops(mesh)
+
+    def column_metadata(self, mesh: MZIMesh) -> tuple:
+        """Structure signature for fleet stacking (``photonics.batch``).
+
+        Meshes with equal signatures share a stacked kernel pass.
+        """
+        from repro.photonics.batch import plan_signature
+        return plan_signature(mesh)
+
+    # -- fault injection -----------------------------------------------
+
+    def devices(self, mesh: MZIMesh) -> range:
+        """Virtual MZI indices the fault injector may target."""
+        return range(mesh.num_mzis)
+
+    def fault_domain(self, mesh: MZIMesh, index: int) -> tuple[int, ...]:
+        """Virtual indices sharing ``index``'s physical device.
+
+        Single-pass meshes map virtual MZIs one-to-one onto hardware;
+        recirculating meshes reuse each physical device every pass, so a
+        stuck device pins every virtual MZI it serves.
+        """
+        if self.fault_domain_fn is None:
+            return (index,)
+        return self.fault_domain_fn(mesh, index)
+
+    # -- accounting ----------------------------------------------------
+
+    def depth(self, n: int) -> int:
+        """Worst-case virtual columns of a size-``n`` unitary mesh."""
+        return self.depth_fn(n)
+
+    def device_count(self, n: int) -> int:
+        """Physical MZIs a size-``n`` unitary mesh occupies."""
+        return self.device_count_fn(n)
+
+    def program_mzi_count(self, n: int) -> int:
+        """Programmed MZI states of a size-``n`` unitary (universal)."""
+        return n * (n - 1) // 2
+
+    def passes(self, n: int) -> int:
+        """Recirculation passes light makes through the hardware."""
+        return self.passes_fn(n)
+
+
+#: name -> [oracle factory | None, vectorized factory | None].
+_MESHES: dict[str, list[Callable | None]] = {}
+
+
+def register_mesh(name: str, factory: Callable | None = None,
+                  *, vectorized: bool = False, replace: bool = False):
+    """Register a mesh-architecture factory under ``name``.
+
+    Usable directly (``register_mesh("clements", make_clements)``) or as
+    a decorator (``@register_mesh("clements")``).  ``vectorized=True``
+    registers the columnized twin, which becomes the default dispatch
+    for the name; the plain registration remains reachable as the oracle
+    via ``mesh_factory(name, vectorized=False)``.  Re-registering an
+    existing slot raises unless ``replace=True``.
+    """
+    slot = 1 if vectorized else 0
+
+    def _register(fn: Callable) -> Callable:
+        entry = _MESHES.setdefault(name, [None, None])
+        if not replace and entry[slot] is not None:
+            kind = "vectorized" if vectorized else "reference"
+            raise ValueError(f"{kind} mesh architecture {name!r} is already "
+                             f"registered; pass replace=True to override")
+        entry[slot] = fn
+        return fn
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_mesh(name: str, *, vectorized: bool | None = None) -> None:
+    """Remove a mesh architecture (primarily for test cleanup).
+
+    By default both slots go; pass ``vectorized`` to drop just one.
+    """
+    if vectorized is None:
+        _MESHES.pop(name, None)
+        return
+    entry = _MESHES.get(name)
+    if entry is not None:
+        entry[1 if vectorized else 0] = None
+        if entry[0] is None and entry[1] is None:
+            del _MESHES[name]
+
+
+def mesh_factory(name: str, vectorized: bool | None = None) -> Callable:
+    """Look up one architecture factory, or raise listing what exists.
+
+    ``vectorized=None`` (the default) prefers the vectorized factory
+    and falls back to the oracle; ``True`` requires the vectorized one;
+    ``False`` requires the oracle.
+    """
+    try:
+        entry = _MESHES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mesh architecture {name!r}; "
+            f"known: {registered_meshes()}") from None
+    if vectorized is None:
+        factory = entry[1] if entry[1] is not None else entry[0]
+    else:
+        factory = entry[1] if vectorized else entry[0]
+    if factory is None:
+        kind = "vectorized" if vectorized else "reference"
+        raise ValueError(
+            f"mesh architecture {name!r} has no {kind} implementation")
+    return factory
+
+
+def make_mesh(name: str | MeshArchitecture,
+              *, vectorized: bool | None = None, **kwargs
+              ) -> MeshArchitecture:
+    """Resolve an architecture by name (an instance passes through)."""
+    if isinstance(name, MeshArchitecture):
+        return name
+    return mesh_factory(name, vectorized=vectorized)(**kwargs)
+
+
+def has_vectorized_mesh(name: str) -> bool:
+    """True when ``name`` has a registered vectorized twin."""
+    entry = _MESHES.get(name)
+    return entry is not None and entry[1] is not None
+
+
+def registered_meshes() -> tuple[str, ...]:
+    """Names of every registered architecture, in registration order."""
+    return tuple(_MESHES)
+
+
+@contextmanager
+def temporary_mesh(name: str, factory: Callable,
+                   *, vectorized: bool = False) -> Iterator[None]:
+    """Register a mesh architecture for the duration of a ``with`` block."""
+    register_mesh(name, factory, vectorized=vectorized)
+    try:
+        yield
+    finally:
+        unregister_mesh(name, vectorized=vectorized)
+
+
+# -- the three architectures ------------------------------------------------
+#
+# Each registers its per-MZI oracle and its columnized twin; dispatch
+# serves the twin, the equivalence suite diffs the two.
+
+
+def _clements(vectorized: bool) -> MeshArchitecture:
+    from repro.photonics.clements import decompose
+    return MeshArchitecture(
+        name="clements", vectorized=vectorized,
+        decompose_fn=decompose,
+        depth_fn=lambda n: max(0, n) if n != 1 else 0,
+        device_count_fn=lambda n: n * (n - 1) // 2,
+        passes_fn=lambda n: 1,
+    )
+
+
+@register_mesh("clements")
+def _make_clements(**kwargs) -> MeshArchitecture:
+    return _clements(vectorized=False)
+
+
+@register_mesh("clements", vectorized=True)
+def _make_clements_vec(**kwargs) -> MeshArchitecture:
+    return _clements(vectorized=True)
+
+
+def _reck(vectorized: bool) -> MeshArchitecture:
+    from repro.photonics.reck import decompose_reck
+    return MeshArchitecture(
+        name="reck", vectorized=vectorized,
+        decompose_fn=decompose_reck,
+        depth_fn=lambda n: 0 if n < 2 else 2 * n - 3,
+        device_count_fn=lambda n: n * (n - 1) // 2,
+        passes_fn=lambda n: 1,
+    )
+
+
+@register_mesh("reck")
+def _make_reck(**kwargs) -> MeshArchitecture:
+    return _reck(vectorized=False)
+
+
+@register_mesh("reck", vectorized=True)
+def _make_reck_vec(**kwargs) -> MeshArchitecture:
+    return _reck(vectorized=True)
+
+
+def _bricks(vectorized: bool) -> MeshArchitecture:
+    from repro.photonics.bricks import (
+        brick_fault_domain,
+        bricks_depth,
+        bricks_device_count,
+        bricks_passes,
+        decompose_bricks,
+    )
+    return MeshArchitecture(
+        name="bricks", vectorized=vectorized,
+        decompose_fn=decompose_bricks,
+        depth_fn=bricks_depth,
+        device_count_fn=bricks_device_count,
+        passes_fn=bricks_passes,
+        fault_domain_fn=brick_fault_domain,
+    )
+
+
+@register_mesh("bricks")
+def _make_bricks(**kwargs) -> MeshArchitecture:
+    return _bricks(vectorized=False)
+
+
+@register_mesh("bricks", vectorized=True)
+def _make_bricks_vec(**kwargs) -> MeshArchitecture:
+    return _bricks(vectorized=True)

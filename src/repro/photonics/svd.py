@@ -89,9 +89,9 @@ _svd_cache_hits = 0
 _svd_cache_misses = 0
 
 
-def _matrix_key(m: np.ndarray) -> tuple:
+def _matrix_key(m: np.ndarray, architecture: str) -> tuple:
     digest = hashlib.sha256(np.ascontiguousarray(m).tobytes()).hexdigest()
-    return (m.shape, digest)
+    return (m.shape, digest, architecture)
 
 
 def _fresh_mesh(mesh: MZIMesh) -> MZIMesh:
@@ -121,35 +121,44 @@ def clear_svd_cache() -> None:
     _svd_cache_misses = 0
 
 
-def program_svd(matrix: np.ndarray) -> SVDProgram:
+def program_svd(matrix: np.ndarray,
+                architecture: str | None = None) -> SVDProgram:
     """Program an ``N x N`` SVD MZIM to implement ``matrix``.
 
     The matrix must be square (pad with :func:`repro.core.accelerator.pad_to_blocks`
     first); it may be complex.  Raises ``ValueError`` for non-square input.
+    ``architecture`` picks the mesh arrangement from
+    :mod:`repro.photonics.registry` (``None`` = the Clements default).
 
-    Programs are memoized by matrix content hash (LRU, 128 entries);
-    every call returns a fresh :class:`SVDProgram` with independent
-    meshes so in-place mutation cannot poison the cache.
+    Programs are memoized by matrix content hash + architecture name
+    (LRU, 128 entries); every call returns a fresh :class:`SVDProgram`
+    with independent meshes so in-place mutation cannot poison the cache.
     """
     global _svd_cache_hits, _svd_cache_misses
     m = np.asarray(matrix, dtype=complex)
     if m.ndim != 2 or m.shape[0] != m.shape[1]:
         raise ValueError(f"SVD MZIM needs a square matrix, got {m.shape}")
-    key = _matrix_key(m)
+    arch_name = "clements" if architecture is None else architecture
+    key = _matrix_key(m, arch_name)
     cached = _SVD_CACHE.get(key)
     if cached is not None:
         _SVD_CACHE.move_to_end(key)
         _svd_cache_hits += 1
     else:
         _svd_cache_misses += 1
+        if arch_name == "clements":
+            decompose_fn = decompose
+        else:
+            from repro.photonics.registry import make_mesh
+            decompose_fn = make_mesh(arch_name).decompose
         n = m.shape[0]
         scale = spectral_scale(m)
         u, sigma, v_dagger = np.linalg.svd(m / scale)
         sigma = np.clip(sigma, 0.0, 1.0)  # numerical guard: sigma_max == 1
         cached = SVDProgram(
             n=n,
-            v_dagger_mesh=decompose(v_dagger),
-            u_mesh=decompose(u),
+            v_dagger_mesh=decompose_fn(v_dagger),
+            u_mesh=decompose_fn(u),
             sigma=sigma,
             scale=scale,
         )
@@ -207,7 +216,8 @@ def is_unitary_matrix(matrix: np.ndarray, tol: float = 1e-9) -> bool:
     return is_unitary(np.asarray(matrix, dtype=complex), tol)
 
 
-def program_unitary(matrix: np.ndarray) -> UnitaryProgram:
+def program_unitary(matrix: np.ndarray,
+                    architecture: str | None = None) -> UnitaryProgram:
     """Program a unitary kernel onto a single mesh.
 
     Raises ``ValueError`` when the matrix is not unitary — use
@@ -216,15 +226,20 @@ def program_unitary(matrix: np.ndarray) -> UnitaryProgram:
     m = np.asarray(matrix, dtype=complex)
     if not is_unitary_matrix(m):
         raise ValueError("matrix is not unitary; use program_svd")
-    return UnitaryProgram(n=m.shape[0], mesh=decompose(m))
+    if architecture is None or architecture == "clements":
+        decompose_fn = decompose
+    else:
+        from repro.photonics.registry import make_mesh
+        decompose_fn = make_mesh(architecture).decompose
+    return UnitaryProgram(n=m.shape[0], mesh=decompose_fn(m))
 
 
-def program_matrix(matrix: np.ndarray):
+def program_matrix(matrix: np.ndarray, architecture: str | None = None):
     """Program whichever circuit fits: single mesh if unitary, else SVD."""
     m = np.asarray(matrix, dtype=complex)
     if m.ndim == 2 and m.shape[0] == m.shape[1] and is_unitary_matrix(m):
-        return program_unitary(m)
-    return program_svd(m)
+        return program_unitary(m, architecture)
+    return program_svd(m, architecture)
 
 
 def mvm_digital_op_count(n: int) -> tuple[int, int]:

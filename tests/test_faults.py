@@ -53,6 +53,7 @@ from repro.obs import Obs
 from repro.photonics.calibration import matrix_error
 from repro.photonics.clements import decompose, random_unitary
 from repro.photonics.devices import BAR_THETA
+from repro.photonics.registry import registered_meshes
 
 
 class TestBackoffPolicy:
@@ -423,12 +424,13 @@ RUNG_CASES = [
 ]
 
 
-@pytest.fixture(scope="module")
-def rung_records():
+@pytest.fixture(scope="module", params=registered_meshes())
+def rung_records(request):
     records = {}
     for kind, magnitude, _ in RUNG_CASES:
         spec = CampaignSpec(fault=kind, magnitude=magnitude, cycles=1200,
-                            golden_reference=False)
+                            golden_reference=False,
+                            mesh_architecture=request.param)
         records[kind] = run_single(spec, 0)
     return records
 

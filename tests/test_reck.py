@@ -66,3 +66,15 @@ class TestDepthComparison:
         big = depth_comparison(16)
         assert (big["reck"] - big["clements"]) > \
             (small["reck"] - small["clements"])
+
+    def test_covers_every_registered_mesh(self):
+        from repro.photonics.registry import registered_meshes
+
+        assert set(depth_comparison(8)) == set(registered_meshes())
+
+    def test_seed_controls_the_sample(self):
+        # An int seed and an equally-seeded Generator agree, and the
+        # default is seed 0 — not (as before) the mesh size.
+        assert depth_comparison(8, 5) == \
+            depth_comparison(8, np.random.default_rng(5))
+        assert depth_comparison(8) == depth_comparison(8, 0)
