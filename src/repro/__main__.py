@@ -29,6 +29,14 @@ Commands
     reference oracles) plus macro sweep/fault benchmarks, written to a
     ``BENCH_<rev>.json`` artifact and compared against a committed
     baseline (strict output-digest equality, tolerant wall clock).
+``serve``
+    Long-lived serving daemon (DESIGN.md §17): seeded client
+    populations offer concurrent MVM/communication streams, token
+    buckets shed overload, batches drain into the fleet MVM queue,
+    Algorithm 1 repartitions under the observed load, and the
+    degradation ladder handles mid-session faults — with optional live
+    ``/metrics`` / ``/healthz`` over HTTP and byte-identical same-seed
+    session replay.
 ``metrics-server``
     Serve a telemetry directory (``sweep --telemetry-dir``) over HTTP:
     Prometheus text exposition on ``/metrics``, event/snapshot tails as
@@ -288,6 +296,122 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
              f"{len(obs.sampler)} snapshots) to {args.telemetry_dir}: "
              + ", ".join(p.name for p in paths.values()))
     return 1 if run.failed_results() else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.analysis.report import format_table
+    from repro.obs import (
+        TelemetryServer,
+        parse_exposition,
+        prometheus_exposition,
+        validate_events,
+        write_telemetry_dir,
+    )
+    from repro.serve import LiveTelemetryStore, ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        duration=args.duration, seed=args.seed, arrival=args.arrival,
+        rate=args.rate, tenants=args.tenants,
+        mvm_fraction=args.mvm_fraction, nodes=args.nodes,
+        ports=args.ports, batch_size=args.batch_size,
+        batch_window=args.batch_window,
+        admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst, fault=args.fault,
+        fault_magnitude=args.fault_magnitude,
+        max_events=args.max_events)
+    daemon = ServeDaemon(config)
+    server = None
+    if args.http_port is not None:
+        store = LiveTelemetryStore(
+            daemon.obs, daemon=daemon,
+            describe=f"serve session seed={config.seed}")
+        server = TelemetryServer(store, host=args.host,
+                                 port=args.http_port)
+        server.start()
+        emit(f"live telemetry on http://{args.host}:{server.port}"
+             f"/metrics (also /healthz /events /snapshots)")
+    try:
+        report = daemon.run()
+        if server is not None and args.linger > 0:
+            emit(f"session over; serving /metrics for {args.linger:g}s "
+                 "more (Ctrl-C stops)")
+            try:
+                time.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        if server is not None:
+            server.shutdown()
+
+    ledger = report["ledger"]
+    rows = []
+    for tenant, t in sorted(report["per_tenant"].items()):
+        rows.append([tenant, t["offered"], t["admitted"],
+                     t["rejected"], t["completed"]])
+    emit(format_table(
+        ["tenant", "offered", "admitted", "rejected", "completed"],
+        rows,
+        title=f"serve session: seed={config.seed} "
+              f"arrival={config.arrival} rate={config.rate:g} "
+              f"({report['cycles']} cycles)"))
+    emit()
+    lat = report["latency"]
+    lat_rows = []
+    for kind in ("mvm", "comm"):
+        p = lat[kind]
+        lat_rows.append([
+            kind, p["count"],
+            "-" if p["p50"] is None else f"{p['p50']:.0f}",
+            "-" if p["p95"] is None else f"{p['p95']:.0f}",
+            "-" if p["p99"] is None else f"{p['p99']:.0f}"])
+    emit(format_table(
+        ["kind", "served", "p50 (cyc)", "p95 (cyc)", "p99 (cyc)"],
+        lat_rows, title="request latency"))
+    emit()
+    emit(f"ledger: offered={ledger['offered']} "
+         f"admitted={ledger['admitted']} "
+         f"rejected={ledger['rejected']} "
+         f"completed={ledger['completed']} "
+         f"in_flight={ledger['in_flight']} | "
+         f"goodput={report['goodput_per_kcycle']:.1f} req/kcycle | "
+         f"final rung {report['final_rung']} "
+         f"(electrical={report['electrical_completions']})")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        emit(f"wrote session report to {args.out}")
+    if args.telemetry_dir:
+        paths = write_telemetry_dir(args.telemetry_dir, daemon.obs)
+        emit(f"wrote telemetry ({len(daemon.obs.events)} events, "
+             f"{len(daemon.obs.sampler)} snapshots) to "
+             f"{args.telemetry_dir}: "
+             + ", ".join(p.name for p in paths.values()))
+
+    if args.check:
+        problems = list(validate_events(
+            list(daemon.obs.events.events)))
+        _, expo_problems = parse_exposition(prometheus_exposition(
+            daemon.obs.metrics.to_dict()))
+        problems += [f"exposition: {p}" for p in expo_problems]
+        if not report["conserved"]:
+            problems.append(f"ledger not conserved: {ledger}")
+        if not report["drained"]:
+            problems.append(
+                f"drain incomplete: in_flight={ledger['in_flight']} "
+                f"after {config.drain_limit} extra cycles")
+        for problem in problems:
+            log.error("serve: %s", problem)
+        if problems:
+            return 1
+        emit(f"serve check: ok ({report['events']} events, "
+             f"{report['snapshots']} snapshots, ledger conserved, "
+             "drained)")
+    return 0
 
 
 def _cmd_metrics_server(args: argparse.Namespace) -> int:
@@ -642,6 +766,84 @@ def main(argv: list[str] | None = None) -> int:
                           "metrics.prom to DIR (serve with "
                           "'metrics-server --dir DIR')")
 
+    def _arrival_names() -> list[str]:
+        from repro.serve import registered_arrivals
+        return list(registered_arrivals())
+
+    def _fault_names() -> list[str]:
+        from repro.faults import registered_faults
+        return list(registered_faults())
+
+    svd = sub.add_parser(
+        "serve", help="long-lived serving daemon under live traffic "
+                      "(DESIGN.md §17)")
+    svd.add_argument("--duration", type=int, default=4096,
+                     help="cycles of the serving phase (default: 4096); "
+                          "draining afterwards runs until every "
+                          "admitted request completes")
+    svd.add_argument("--seed", type=int, default=0,
+                     help="session seed; same seed -> byte-identical "
+                          "events, snapshots, exposition, and report")
+    svd.add_argument("--arrival", default="poisson",
+                     choices=_arrival_names(),
+                     help="arrival process shaping offered load "
+                          "(default: poisson)")
+    svd.add_argument("--rate", type=float, default=0.05,
+                     help="mean offered requests per tenant per cycle "
+                          "at intensity 1.0 (default: 0.05)")
+    svd.add_argument("--tenants", type=int, default=3,
+                     help="independent client populations (default: 3)")
+    svd.add_argument("--mvm-fraction", type=float, default=0.5,
+                     help="fraction of requests that are MVM offloads; "
+                          "the rest are interposer packets "
+                          "(default: 0.5)")
+    svd.add_argument("--nodes", type=int, default=16,
+                     help="interposer nodes (default: 16)")
+    svd.add_argument("--ports", type=int, default=8,
+                     help="photonic fabric ports (default: 8)")
+    svd.add_argument("--batch-size", type=int, default=8,
+                     help="close a tenant batch at this many requests "
+                          "(default: 8)")
+    svd.add_argument("--batch-window", type=int, default=64,
+                     help="or when its oldest request has waited this "
+                          "many cycles (default: 64)")
+    svd.add_argument("--admission-rate", type=float, default=0.12,
+                     help="token-bucket refill per tenant, requests "
+                          "per cycle (default: 0.12)")
+    svd.add_argument("--admission-burst", type=float, default=24.0,
+                     help="token-bucket depth in requests "
+                          "(default: 24)")
+    svd.add_argument("--fault", default=None, choices=_fault_names(),
+                     help="inject one seeded fault mid-session "
+                          "(default: fault-free)")
+    svd.add_argument("--fault-magnitude", type=float, default=1.0,
+                     help="fault severity multiplier (default: 1.0)")
+    svd.add_argument("--max-events", type=int, default=None,
+                     metavar="N",
+                     help="bound the in-memory event log (default: "
+                          "unbounded)")
+    svd.add_argument("--out", default=None, metavar="PATH",
+                     help="write the session report as canonical JSON")
+    svd.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                     help="write events.jsonl / snapshots.jsonl / "
+                          "metrics.prom to DIR after the session")
+    svd.add_argument("--check", action="store_true",
+                     help="validate the event log, exposition, ledger "
+                          "conservation, and drain; nonzero exit on "
+                          "problems")
+    svd.add_argument("--http-port", type=int, default=None,
+                     metavar="PORT",
+                     help="serve live /metrics //healthz while the "
+                          "session runs (0 picks a free port; default: "
+                          "no HTTP)")
+    svd.add_argument("--host", default="127.0.0.1",
+                     help="bind address for --http-port (default: "
+                          "127.0.0.1)")
+    svd.add_argument("--linger", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="keep the HTTP endpoint up this long after "
+                          "the session ends (default: 0)")
+
     srv = sub.add_parser(
         "metrics-server",
         help="serve a telemetry directory over HTTP: /metrics "
@@ -783,6 +985,7 @@ def main(argv: list[str] | None = None) -> int:
         "system": _cmd_system,
         "area": _cmd_area,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "faults": _cmd_faults,
         "perf": _cmd_perf,

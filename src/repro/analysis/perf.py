@@ -482,6 +482,67 @@ def _bench_telemetry_overhead(small: bool) -> dict:
     }
 
 
+def _bench_serve_saturation(small: bool) -> dict:
+    """Offered load vs latency/goodput of the serving daemon.
+
+    Runs seeded `repro serve` sessions at increasing per-tenant arrival
+    rates and records the p50/p95/p99 request latency and goodput at
+    each point — the saturation curve EXPERIMENTS.md plots.  Two gates
+    ride on the record: every session must conserve its admission
+    ledger (offered == admitted + rejected == completed + rejected at
+    drain) and drain completely; the digest pins the full point list,
+    so any drift in arrivals, admission, batching, or scheduling shows
+    up as a baseline digest mismatch, machine-independently.
+    """
+    from repro.serve import ServeConfig, ServeDaemon
+
+    rates = (0.02, 0.06, 0.12) if small else \
+        (0.02, 0.04, 0.08, 0.12, 0.20)
+    duration = 2048 if small else 4096
+    points: list[dict] = []
+    t0 = time.perf_counter()
+    for rate in rates:
+        report = ServeDaemon(ServeConfig(
+            duration=duration, seed=0, rate=rate)).run()
+        points.append({
+            "rate": rate,
+            "ledger": report["ledger"],
+            "latency": report["latency"],
+            "goodput_per_kcycle": round(
+                report["goodput_per_kcycle"], 3),
+            "electrical_completions":
+                report["electrical_completions"],
+            "conserved": report["conserved"],
+            "drained": report["drained"],
+        })
+    wall = time.perf_counter() - t0
+    broken = [p["rate"] for p in points
+              if not (p["conserved"] and p["drained"])]
+    if broken:
+        raise RuntimeError(
+            f"serve sessions violated the admission ledger or failed "
+            f"to drain at rates {broken}")
+    quantiles = {
+        f"rate{p['rate']:g}:{kind}": {
+            "count": p["latency"][kind]["count"],
+            "p50": p["latency"][kind]["p50"],
+            "p95": p["latency"][kind]["p95"],
+            "p99": p["latency"][kind]["p99"],
+        }
+        for p in points for kind in ("mvm", "comm")
+        if p["latency"][kind]["count"]}
+    return {
+        "wall_s": wall,
+        "per_call_s": wall / len(rates),
+        "quantiles": quantiles,
+        "meta": {"rates": list(rates), "duration": duration,
+                 "seed": 0, "arrival": "poisson",
+                 "goodput_per_kcycle": [p["goodput_per_kcycle"]
+                                        for p in points]},
+        "digest": _digest_json(points),
+    }
+
+
 #: The pinned suite: (name, in_small_suite, callable(small) -> record).
 BENCHMARKS: list[tuple[str, bool, object]] = [
     ("mesh_propagate/n16", True,
@@ -511,6 +572,7 @@ BENCHMARKS: list[tuple[str, bool, object]] = [
     ("sweep_small/full_grid", False, _bench_sweep_full),
     ("faults_smoke/stuck_mzi", True, _bench_fault_smoke),
     ("telemetry_overhead/2x2", True, _bench_telemetry_overhead),
+    ("serve_saturation/poisson", True, _bench_serve_saturation),
 ]
 
 

@@ -194,6 +194,19 @@ class FlumenScheduler:
         """Per-tenant accounting series (grant-rate events, off hot path)."""
         self.obs.metrics.counter(name, tenant=tenant).inc(amount)
 
+    def take_completions(self) -> dict[int, int]:
+        """Drain and return completed request ids -> completion cycles.
+
+        Batch callers read :attr:`completions` once after a run and let
+        it grow; a long-lived daemon polls every cycle and must not
+        accumulate an unbounded map, so this hands the current batch to
+        the caller and resets the dict.  Photonic and electrical-rung
+        completions both land here, so a daemon consuming this stream
+        never loses an admitted request to a ladder transition.
+        """
+        done, self.completions = self.completions, {}
+        return done
+
     # -- Algorithm 1, lines 19-28 ---------------------------------------
 
     def _partitioner(self) -> None:

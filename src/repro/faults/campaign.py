@@ -35,26 +35,19 @@ import numpy as np
 from repro.analysis.engine import point_seed
 from repro.config import DeviceParams, SystemConfig
 from repro.core.accelerator import plan_offload
-from repro.core.control_unit import (
-    ComputeRequest,
-    HealthMonitor,
-    MZIMControlUnit,
-)
+from repro.core.control_unit import ComputeRequest, MZIMControlUnit
 from repro.core.scheduler import FlumenScheduler, electrical_duration_cycles
-from repro.faults.injector import FaultDomain, FaultInjector, FaultyMesh
-from repro.faults.ladder import BackoffPolicy, DegradationLadder, Rung
+from repro.faults.injector import FaultInjector
+from repro.faults.ladder import BackoffPolicy
 from repro.faults.models import FaultSchedule, fault_class, registered_faults
+from repro.faults.recovery import NOMINAL_RECEIVED_POWER_W, FabricRecovery
 from repro.noc.flumen_net import FlumenNetwork
 from repro.noc.traffic import TrafficGenerator
 from repro.obs import NULL_OBS, Obs
-from repro.photonics.calibration import calibrate_by_decomposition, matrix_error
-from repro.photonics.clements import decompose, random_unitary
 from repro.photonics.noise import effective_bits, snr_to_enob
 
 #: Pseudo fault kind for a control campaign with no injections.
 NO_FAULT = "none"
-#: Received optical power at nominal laser output (the AnalogMVM default).
-NOMINAL_RECEIVED_POWER_W = 50e-6
 #: Digital precision of the electrical fallback path (Table 1: 8-bit).
 ELECTRICAL_BITS = 8.0
 
@@ -113,7 +106,14 @@ def _error_enob(error: float) -> float:
 
 
 class _CampaignRun:
-    """One seeded run: fabric, network, monitor, ladder, and actions."""
+    """One seeded run: fabric, network, monitor, ladder, and actions.
+
+    The reliability core (mesh, domain, monitor, ladder, rung actions)
+    lives in :class:`~repro.faults.recovery.FabricRecovery`, shared
+    with the serving daemon; this class adds the campaign-specific
+    parts — synthetic traffic, periodic compute offloads, the fault
+    schedule, and the per-run accuracy/overhead record.
+    """
 
     def __init__(self, spec: CampaignSpec, run_index: int,
                  obs: Obs = NULL_OBS) -> None:
@@ -123,34 +123,19 @@ class _CampaignRun:
         self.rng = np.random.default_rng(self.seed)
         self.system = SystemConfig()
         self.devices = DeviceParams()
-        self.ports = spec.ports
-        # Clements stays on the direct path (bit-identical to the golden
-        # pins); alternatives resolve through the registry, and stuck
-        # faults widen to the architecture's physical fault domains.
-        if spec.mesh_architecture == "clements":
-            self._decompose = decompose
-            self._fault_arch = None
-        else:
-            from repro.photonics.registry import make_mesh
-            self._fault_arch = make_mesh(spec.mesh_architecture)
-            self._decompose = self._fault_arch.decompose
-        self.target = random_unitary(spec.ports, self.rng)
-        self.domain = FaultDomain(
-            mesh=FaultyMesh(self._decompose(self.target),
-                            architecture=self._fault_arch))
-        self.net = FlumenNetwork(spec.nodes, obs=obs)
-        self.domain.network = self.net
-        self.ladder = DegradationLadder(
-            fabric_ports=spec.ports, policy=spec.backoff, obs=obs)
-        self.domain.ladder = self.ladder
-        self.monitor = HealthMonitor(
-            mesh_probe=self._mesh_probe,
-            link_probe=self.domain.link_error,
-            power_probe=self.received_power,
+        self.recovery = FabricRecovery(
+            ports=spec.ports, nodes=spec.nodes, seed=self.seed,
+            rng=self.rng, backoff=spec.backoff,
+            probe_interval=spec.probe_interval,
             error_threshold=spec.error_threshold,
             min_effective_bits=spec.min_effective_bits,
-            interval_cycles=spec.probe_interval,
-            obs=obs)
+            mesh_architecture=spec.mesh_architecture,
+            devices=self.devices, obs=obs)
+        self.domain = self.recovery.domain
+        self.ladder = self.recovery.ladder
+        self.monitor = self.recovery.monitor
+        self.net = FlumenNetwork(spec.nodes, obs=obs)
+        self.recovery.bind_network(self.net)
         self.control = MZIMControlUnit(self.net, self.system, obs=obs,
                                        health=self.monitor)
         self.scheduler = FlumenScheduler(self.control, self.system,
@@ -170,75 +155,7 @@ class _CampaignRun:
                                 mzim_size=spec.ports,
                                 wavelengths=self.system.compute
                                 .computation_wavelengths)
-        self.recalibrations = 0
         self.submitted = 0
-        self.detected_cycle: int | None = None
-        self.error_peak = 0.0
-
-    # -- probes ------------------------------------------------------------
-
-    def _mesh_probe(self) -> float:
-        return matrix_error(self.domain.mesh.measure(), self.target)
-
-    def received_power(self) -> float:
-        """Received optical power given laser health and partition size.
-
-        Shrinking the partition removes MZI columns from the light path,
-        so each retired column claws back one column's insertion loss —
-        the physical reason the SHRINK rung helps against laser
-        degradation.
-        """
-        gain_db = self.devices.mzi.insertion_loss_db \
-            * (self.spec.ports - self.ports)
-        return NOMINAL_RECEIVED_POWER_W \
-            * self.domain.laser_power_fraction * 10.0 ** (gain_db / 10.0)
-
-    # -- ladder rung actions ----------------------------------------------
-
-    def _act_recalibrate(self) -> None:
-        calibrate_by_decomposition(
-            self.domain.mesh, self.target, iterations=1,
-            architecture=self.spec.mesh_architecture)
-        self.recalibrations += 1
-
-    def _act_shrink(self, cycle: int) -> None:
-        """Re-place the compute circuit on a smaller, fault-free block.
-
-        The shrunken partition sits on fresh columns, so stuck devices
-        in the retired region stop mattering; continuous drift keeps
-        acting on the new mesh through the injector's domain reference.
-        """
-        new_ports = self.ladder.partition_ports_cap
-        if new_ports >= self.ports:
-            return
-        self.ports = new_ports
-        sub_rng = np.random.default_rng(
-            point_seed(self.seed, f"shrink/{cycle}"))
-        self.target = random_unitary(new_ports, sub_rng)
-        self.domain.mesh = FaultyMesh(self._decompose(self.target),
-                                      architecture=self._fault_arch)
-        self.recalibrations += 1  # the new block is programmed once
-
-    def _act_reroute(self) -> None:
-        for src, dst in self.domain.unrouted_pairs():
-            penalty = self.domain.detour_cycles.get((src, dst), 6)
-            self.net.reroute_pair(src, dst, penalty)
-            self.domain.rerouted_pairs.add((src, dst))
-            port = dst * self.spec.ports // self.spec.nodes
-            self.ladder.mark_dead_port(port)
-
-    def _run_ladder_action(self, cycle: int) -> None:
-        self.ladder.attempt_started(cycle)
-        rung = self.ladder.rung
-        if rung is Rung.RECALIBRATE:
-            self._act_recalibrate()
-        elif rung is Rung.SHRINK:
-            self._act_shrink(cycle)
-        elif rung is Rung.REROUTE:
-            self._act_reroute()
-        sample = self.monitor.probe(cycle)
-        self.ladder.attempt_result(cycle, bool(sample["healthy"]),
-                                   error=float(sample["error"]))
 
     # -- main loop ---------------------------------------------------------
 
@@ -246,7 +163,7 @@ class _CampaignRun:
         spec = self.spec
         enob_nominal = min(
             float(effective_bits(NOMINAL_RECEIVED_POWER_W, self.devices)),
-            _error_enob(self._mesh_probe()))
+            _error_enob(self.recovery.mesh_probe()))
         sampler = self.obs.sampler
         for cycle in range(spec.cycles):
             for packet in self.traffic.packets_for_cycle(self.net.cycle):
@@ -271,16 +188,7 @@ class _CampaignRun:
                     duration_override=60, request_id=self.submitted))
                 self.control.requests_received += 1
                 self.submitted += 1
-            sample = self.monitor.sample(cycle)
-            if sample is not None:
-                self.error_peak = max(self.error_peak,
-                                      float(sample["error"]))
-                if not sample["healthy"] and self.ladder.healthy:
-                    if self.ladder.detect(cycle, error=sample["error"]) \
-                            and self.detected_cycle is None:
-                        self.detected_cycle = cycle
-            if self.ladder.due(cycle):
-                self._run_ladder_action(cycle)
+            self.recovery.service(cycle)
             self.scheduler.tick()
             self.net.step()
         self.scheduler.drain(max_cycles=60_000)
@@ -302,8 +210,9 @@ class _CampaignRun:
         system = self.system
         program_cycles = math.ceil(system.compute.mzim_switch_delay_s
                                    * system.core.frequency_hz)
-        recal_cycles = self.recalibrations * program_cycles
-        recal_energy = self.recalibrations \
+        recalibrations = self.recovery.recalibrations
+        recal_cycles = recalibrations * program_cycles
+        recal_energy = recalibrations \
             * self.devices.converter.dac_power_w \
             * system.compute.mzim_switch_delay_s
         elec_jobs = self.scheduler.stats.electrical_completions
@@ -334,14 +243,16 @@ class _CampaignRun:
 
     def _record(self, enob_nominal: float) -> dict:
         spec = self.spec
-        error_final = max(self._mesh_probe(), self.domain.link_error())
+        error_final = max(self.recovery.mesh_probe(),
+                          self.domain.link_error())
         if self.ladder.electrical_fallback:
             # Terminal fallback computes digitally: accuracy is restored
             # at the electrical path's cost (visible in the overheads).
             enob_final = ELECTRICAL_BITS
         else:
             enob_final = min(
-                float(effective_bits(self.received_power(), self.devices)),
+                float(effective_bits(self.recovery.received_power(),
+                                     self.devices)),
                 _error_enob(error_final))
         injected = [
             {"cycle": e.cycle, "kind": e.fault.kind,
@@ -355,15 +266,16 @@ class _CampaignRun:
             "magnitude": spec.magnitude,
             "seed": self.seed,
             "injected": injected,
-            "detected_cycle": self.detected_cycle,
+            "detected_cycle": self.recovery.detected_cycle,
             "detection_latency": (
-                None if self.detected_cycle is None or not injected
-                else self.detected_cycle - injected[0]["cycle"]),
+                None if self.recovery.detected_cycle is None
+                or not injected
+                else self.recovery.detected_cycle - injected[0]["cycle"]),
             "final_rung": self.ladder.rung.name,
             "recovered": self.ladder.healthy,
             "ladder": self.ladder.to_dict(),
-            "recalibrations": self.recalibrations,
-            "error_peak": self.error_peak,
+            "recalibrations": self.recovery.recalibrations,
+            "error_peak": self.recovery.error_peak,
             "error_final": error_final,
             "enob_nominal": enob_nominal,
             "enob_final": enob_final,

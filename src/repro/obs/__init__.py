@@ -19,8 +19,8 @@ Four backends ride in the bundle:
 ``Obs.active()`` builds a full recording bundle (post-hoc analysis:
 trace + metrics + events); ``Obs.telemetry()`` builds the streaming
 bundle (metrics + events + snapshots, no per-event trace) that
-``python -m repro metrics-server`` / ``repro top`` read and the future
-serve daemon will stream.
+``python -m repro metrics-server`` / ``repro top`` read and the serve
+daemon (:mod:`repro.serve`) streams over a running session.
 
 Cycle-time semantics: all timestamps are simulation cycles (or a
 component's own deterministic clock, e.g. the multicore layer's stream
@@ -158,8 +158,9 @@ class Obs:
                   max_events: int | None = None) -> Obs:
         """The streaming bundle: metrics + events + snapshots, no tracer.
 
-        This is what live consumers (``metrics-server`` / ``top`` / the
-        future serve daemon) run with: per-event Chrome tracing stays
+        This is what live consumers (``metrics-server`` / ``top`` /
+        the serve daemon, :mod:`repro.serve`) run with: per-event
+        Chrome tracing stays
         off (unbounded memory, the biggest overhead), while counters,
         the structured event log, and the cycle-driven snapshot series
         stay on.  ``max_events`` bounds the event log for long-lived

@@ -54,6 +54,9 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "cache_hit": ("task", "key"),
     "cache_miss": ("task", "key"),
     "point_failed": ("task", "key", "error"),
+    # serve/daemon.py — daemon lifecycle and admission decisions.
+    "serve_transition": ("src", "dst", "reason"),
+    "admission_reject": ("kind",),
 }
 
 #: Envelope keys; payload fields must not collide with them.

@@ -15,8 +15,9 @@ event log's disk round-trip (:mod:`repro.obs.events`): append-only
 JSONL, one canonical record per line.  The loader is deliberately
 paranoid — it flags truncated lines, unknown schema versions,
 out-of-order sequence numbers, non-monotonic cycle timestamps, unknown
-event types, and missing per-type payload fields, because the serve
-daemon will ingest logs it did not write.
+event types, and missing per-type payload fields, because consumers
+(``metrics-server --check``, ``serve --check``, ``repro top``) ingest
+logs they did not write.
 """
 
 from __future__ import annotations

@@ -22,7 +22,10 @@ Everything here is stdlib-only.  The pieces:
 
 Determinism note: the exposition of a *snapshot* is a pure function of
 its bytes, so same-seed runs produce byte-identical ``metrics.prom``
-files.  Only the serving (wall-clock HTTP) side is nondeterministic.
+files.  Only the HTTP side lives on the wall clock, and it only
+*reads*: ``repro serve --http-port`` proves the contract by serving a
+live session through :class:`~repro.serve.live.LiveTelemetryStore`
+with byte-identical artifacts whether or not a scraper is attached.
 """
 
 from __future__ import annotations
@@ -303,15 +306,19 @@ class TelemetryStore:
         return records
 
     def events(self) -> list[dict]:
+        """Every event record currently on disk (re-read per call)."""
         return self._jsonl(EVENTS_FILE)
 
     def events_tail(self, n: int) -> list[dict]:
+        """The most recent ``n`` events (``/events?tail=N``)."""
         return self.events()[-n:] if n > 0 else []
 
     def snapshots(self) -> list[dict]:
+        """Every snapshot currently on disk (re-read per call)."""
         return self._jsonl(SNAPSHOTS_FILE)
 
     def latest_snapshot(self) -> dict | None:
+        """The most recent snapshot, or None for an empty directory."""
         snaps = self.snapshots()
         return snaps[-1] if snaps else None
 
@@ -329,6 +336,7 @@ class TelemetryStore:
         return prometheus_exposition(snap["metrics"], extra_gauges=meta)
 
     def health(self) -> dict:
+        """``/healthz`` body: status plus stream sizes."""
         return {"status": "ok", "root": str(self.root),
                 "snapshots": len(self.snapshots()),
                 "events": len(self.events())}
@@ -399,14 +407,17 @@ class TelemetryServer:
         self._thread: threading.Thread | None = None
 
     def start(self) -> None:
+        """Serve from a daemon thread; returns immediately."""
         self._thread = threading.Thread(target=self.httpd.serve_forever,
                                         daemon=True)
         self._thread.start()
 
     def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
         self.httpd.serve_forever()
 
     def shutdown(self) -> None:
+        """Stop serving, close the socket, and join the thread."""
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:

@@ -1,0 +1,53 @@
+"""Long-lived serving daemon: live traffic over the Flumen fabric.
+
+``python -m repro serve`` runs a persistent session in which seeded
+client populations (:mod:`repro.serve.arrivals`) offer concurrent MVM
+and communication requests, token buckets shed overload
+(:mod:`repro.serve.admission`), per-tenant batches drain into the
+fleet MVM queue, Algorithm 1 repartitions under the *observed* load,
+and the degradation ladder handles faults mid-session
+(:mod:`repro.serve.daemon`).  A live `/metrics` / `/healthz` endpoint
+(:mod:`repro.serve.live`) serves the running session through the
+standard telemetry server.  See DESIGN.md §17.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.arrivals import (
+    Arrival,
+    ArrivalProcess,
+    BurstyArrivals,
+    ClientPopulation,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrival,
+    register_arrival,
+    registered_arrivals,
+    temporary_arrival,
+)
+from repro.serve.daemon import (
+    LATENCY_BOUNDS,
+    DaemonState,
+    ServeConfig,
+    ServeDaemon,
+)
+from repro.serve.live import LiveTelemetryStore
+
+__all__ = [
+    "AdmissionController",
+    "Arrival",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ClientPopulation",
+    "DaemonState",
+    "DiurnalArrivals",
+    "LATENCY_BOUNDS",
+    "LiveTelemetryStore",
+    "PoissonArrivals",
+    "ServeConfig",
+    "ServeDaemon",
+    "TokenBucket",
+    "make_arrival",
+    "register_arrival",
+    "registered_arrivals",
+    "temporary_arrival",
+]

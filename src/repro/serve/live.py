@@ -1,0 +1,92 @@
+"""Live telemetry store: `/metrics` and `/healthz` over a running daemon.
+
+:class:`~repro.obs.telemetry.TelemetryServer` is store-agnostic — it
+calls ``exposition() / health() / events_tail() / snapshots()`` on
+whatever it is given.  The file-backed
+:class:`~repro.obs.telemetry.TelemetryStore` re-reads a telemetry
+directory per request; :class:`LiveTelemetryStore` implements the same
+duck-typed read surface directly over a running daemon's
+:class:`~repro.obs.Obs` bundle, so `repro serve --http-port` exposes
+the session *while it runs* with zero file I/O.
+
+Thread-safety and determinism: the HTTP thread only *reads*.  The
+snapshot series and event log are append-only, so bounded reads are
+safe without locks; a scrape can race an append mid-iteration, so
+reads are length-bounded copies (never live iterators), and the
+exposition is rendered from the latest completed snapshot — exactly
+like the file-backed store renders the latest written one.  Because
+the read side never mutates daemon state, a session's artifacts are
+byte-identical with or without an observer attached.
+"""
+
+from __future__ import annotations
+
+from repro.obs import Obs
+from repro.obs.telemetry import prometheus_exposition
+
+
+class LiveTelemetryStore:
+    """Read-only telemetry view over a live daemon (duck-typed store)."""
+
+    def __init__(self, obs: Obs, daemon=None,
+                 describe: str = "live session") -> None:
+        self.obs = obs
+        #: Optional :class:`~repro.serve.daemon.ServeDaemon` whose
+        #: lifecycle state and ledger enrich ``/healthz``.
+        self.daemon = daemon
+        #: Human-readable origin, shown where the file-backed store
+        #: shows its directory path.
+        self.root = describe
+
+    @staticmethod
+    def _bounded(seq) -> list:
+        """Length-bounded copy of an append-only sequence.
+
+        The writer only appends, so the first ``len(seq)`` entries
+        observed here are complete records even if an append races the
+        copy.
+        """
+        n = len(seq)
+        return list(seq)[:n]
+
+    def events(self) -> list[dict]:
+        """Every event emitted so far (bounded copy)."""
+        return self._bounded(self.obs.events.events)
+
+    def events_tail(self, n: int) -> list[dict]:
+        """The most recent ``n`` events (``/events?tail=N``)."""
+        return self.events()[-n:] if n > 0 else []
+
+    def snapshots(self) -> list[dict]:
+        """Every snapshot sampled so far (bounded copy)."""
+        if self.obs.sampler is None:
+            return []
+        return self._bounded(self.obs.sampler.series)
+
+    def latest_snapshot(self) -> dict | None:
+        """The most recent completed snapshot, or None before the first."""
+        snaps = self.snapshots()
+        return snaps[-1] if snaps else None
+
+    def exposition(self) -> str:
+        """Prometheus text for the latest snapshot (plus stream meta)."""
+        snap = self.latest_snapshot()
+        if snap is None:
+            return ""
+        meta = {
+            "telemetry.snapshot_cycle": snap["cycle"],
+            "telemetry.snapshots": len(self.snapshots()),
+            "telemetry.events": len(self.events()),
+        }
+        return prometheus_exposition(snap["metrics"], extra_gauges=meta)
+
+    def health(self) -> dict:
+        """``/healthz`` body; includes daemon state/cycle when attached."""
+        record = {"status": "ok", "root": str(self.root),
+                  "snapshots": len(self.snapshots()),
+                  "events": len(self.events())}
+        if self.daemon is not None:
+            record["state"] = self.daemon.state.value
+            record["cycle"] = self.daemon.cycle
+            record["in_flight"] = self.daemon.in_flight
+        return record

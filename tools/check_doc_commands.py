@@ -14,6 +14,13 @@ Run from the repository root (CI does)::
 
     PYTHONPATH=src python tools/check_doc_commands.py
 
+Documented ``serve`` commands get a second, stronger check: each one is
+*executed* (not just parsed) with the session clamped to a short
+duration, side-effecting flags redirected into a temp directory, and
+``--check`` forced on, so the daemon's own validators (event schema,
+exposition parse, ledger conservation, drain) run against the exact
+argument combinations the docs advertise.
+
 Exit status is the number of failing commands (0 = docs and CLI agree).
 """
 
@@ -23,6 +30,7 @@ import contextlib
 import io
 import shlex
 import sys
+import tempfile
 from pathlib import Path
 
 #: Documents whose fenced command examples must stay runnable.
@@ -106,6 +114,62 @@ def check_command(argv: list[str]) -> str | None:
     return None
 
 
+#: Ceiling on simulated cycles when executing documented serve sessions.
+SMOKE_MAX_DURATION = 512
+
+#: Serve flags rewritten before execution: wall-clock / network /
+#: filesystem side effects have no place in a docs check.
+_SERVE_DROP_FLAGS = ("--http-port", "--host", "--linger",
+                     "--out", "--telemetry-dir")
+
+
+def clamped_serve_argv(argv: list[str], tmp: Path) -> list[str]:
+    """A fast, side-effect-free variant of a documented serve command."""
+    out: list[str] = []
+    skip = 0
+    duration = SMOKE_MAX_DURATION
+    for index, token in enumerate(argv):
+        if skip:
+            skip -= 1
+            continue
+        if token in _SERVE_DROP_FLAGS:
+            skip = 1
+            continue
+        if token == "--duration":
+            skip = 1
+            try:
+                duration = min(int(argv[index + 1]), SMOKE_MAX_DURATION)
+            except (IndexError, ValueError):
+                pass
+            continue
+        out.append(token)
+    out += ["--duration", str(duration), "--out", str(tmp / "report.json")]
+    if "--check" not in out:
+        out.append("--check")
+    return out
+
+
+def smoke_run_command(argv: list[str]) -> str | None:
+    """Execute one documented serve command; return an error or None."""
+    from repro.__main__ import main
+
+    sink = io.StringIO()
+    with tempfile.TemporaryDirectory() as tmp:
+        run_argv = clamped_serve_argv(argv, Path(tmp))
+        try:
+            with contextlib.redirect_stdout(sink), \
+                    contextlib.redirect_stderr(sink):
+                code = main(run_argv)
+        except SystemExit as exit_:
+            code = exit_.code if isinstance(exit_.code, int) else 1
+        except Exception as error:
+            return f"{type(error).__name__}: {error}"
+    if code not in (0, None):
+        tail = sink.getvalue().strip().splitlines()
+        return tail[-1] if tail else f"exit {code}"
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     paths = [Path(p) for p in (argv or [])] \
         or [REPO_ROOT / name for name in DOC_FILES]
@@ -120,9 +184,13 @@ def main(argv: list[str] | None = None) -> int:
             seen.add(key)
             checked += 1
             error = check_command(command)
+            mode = "ok  "
+            if error is None and command[:1] == ["serve"]:
+                error = smoke_run_command(command)
+                mode = "ran "
             rendered = "python -m repro " + " ".join(command)
             if error is None:
-                print(f"ok   {rendered}")
+                print(f"{mode} {rendered}")
             else:
                 failures += 1
                 print(f"FAIL {rendered}\n     {error}")
