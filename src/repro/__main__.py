@@ -322,7 +322,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission_burst=args.admission_burst, fault=args.fault,
         fault_magnitude=args.fault_magnitude,
         max_events=args.max_events)
-    daemon = ServeDaemon(config)
+    vectorized = args.loop != "oracle"
+    if args.replicas > 1:
+        return _cmd_serve_cluster(args, config, vectorized)
+    daemon = ServeDaemon(config, vectorized=vectorized)
     server = None
     if args.http_port is not None:
         store = LiveTelemetryStore(
@@ -411,6 +414,123 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         emit(f"serve check: ok ({report['events']} events, "
              f"{report['snapshots']} snapshots, ledger conserved, "
              "drained)")
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace, config,
+                       vectorized: bool) -> int:
+    """``repro serve --replicas R``: the replica-sharded serving tier."""
+    import json
+    import time
+
+    from repro.analysis.report import format_table
+    from repro.obs import TelemetryServer, validate_events
+    from repro.obs.export import write_metrics_jsonl
+    from repro.serve import ClusterTelemetryStore, ReplicaSet
+
+    replica_set = ReplicaSet(config, args.replicas,
+                             vectorized=vectorized)
+    report = replica_set.run(jobs=args.jobs)
+
+    rows = [[i, ",".join(r["tenants"]), r["cycles"], r["completed"],
+             f"{r['goodput_per_kcycle']:.1f}", r["final_rung"]]
+            for i, r in enumerate(report["per_replica"])]
+    emit(format_table(
+        ["replica", "tenants", "cycles", "completed", "goodput", "rung"],
+        rows,
+        title=f"serve cluster: seed={config.seed} "
+              f"replicas={args.replicas} jobs={args.jobs} "
+              f"rate={config.rate:g} ({report['cycles']} cycles)"))
+    emit()
+    rows = []
+    for tenant, t in sorted(report["per_tenant"].items()):
+        rows.append([tenant, t["offered"], t["admitted"],
+                     t["rejected"], t["completed"]])
+    emit(format_table(
+        ["tenant", "offered", "admitted", "rejected", "completed"],
+        rows, title="per-tenant ledger"))
+    emit()
+    ledger = report["ledger"]
+    emit(f"ledger: offered={ledger['offered']} "
+         f"admitted={ledger['admitted']} "
+         f"rejected={ledger['rejected']} "
+         f"completed={ledger['completed']} "
+         f"in_flight={ledger['in_flight']} | "
+         f"goodput={report['goodput_per_kcycle']:.1f} req/kcycle | "
+         f"{report['events']} merged events, "
+         f"{report['snapshots']} merged snapshots")
+
+    store = ClusterTelemetryStore(
+        replica_set,
+        describe=f"serve cluster seed={config.seed} "
+                 f"replicas={args.replicas}")
+    if args.http_port is not None:
+        server = TelemetryServer(store, host=args.host,
+                                 port=args.http_port)
+        server.start()
+        emit(f"merged telemetry on http://{args.host}:{server.port}"
+             f"/metrics (also /healthz /events /snapshots)")
+        try:
+            if args.linger > 0:
+                emit(f"serving the merged view for {args.linger:g}s "
+                     "(Ctrl-C stops)")
+                try:
+                    time.sleep(args.linger)
+                except KeyboardInterrupt:
+                    pass
+        finally:
+            server.shutdown()
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        emit(f"wrote cluster report to {args.out}")
+    if args.telemetry_dir:
+        from pathlib import Path
+
+        root = Path(args.telemetry_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        write_metrics_jsonl(root / "events.jsonl",
+                            replica_set.merged_events)
+        write_metrics_jsonl(root / "snapshots.jsonl",
+                            replica_set.merged_snapshots)
+        (root / "metrics.prom").write_text(store.exposition())
+        emit(f"wrote merged telemetry ({report['events']} events, "
+             f"{report['snapshots']} snapshots) to {root}")
+
+    if args.check:
+        problems = list(validate_events(replica_set.merged_events))
+        if not report["conserved"]:
+            problems.append(f"ledger not conserved: {ledger}")
+        if not report["drained"]:
+            problems.append(
+                f"drain incomplete: in_flight={ledger['in_flight']}")
+        if args.jobs > 1:
+            # The cluster's execution-invariance contract: a process
+            # pool must be byte-identical to the sequential oracle.
+            oracle = ReplicaSet(config, args.replicas,
+                                vectorized=vectorized)
+            oracle.run(jobs=1)
+            if oracle.per_tenant_streams() \
+                    != replica_set.per_tenant_streams():
+                problems.append(
+                    "per-tenant event streams differ between the "
+                    "process pool and the sequential oracle")
+            if json.dumps(oracle.report(), sort_keys=True) \
+                    != json.dumps(report, sort_keys=True):
+                problems.append(
+                    "cluster report differs between the process pool "
+                    "and the sequential oracle")
+        for problem in problems:
+            log.error("serve cluster: %s", problem)
+        if problems:
+            return 1
+        emit(f"serve cluster check: ok ({report['events']} merged "
+             f"events, {report['snapshots']} merged snapshots, ledger "
+             "conserved, drained"
+             + (", pool == sequential oracle)" if args.jobs > 1
+                else ")"))
     return 0
 
 
@@ -822,6 +942,20 @@ def main(argv: list[str] | None = None) -> int:
                      metavar="N",
                      help="bound the in-memory event log (default: "
                           "unbounded)")
+    svd.add_argument("--replicas", type=int, default=1, metavar="R",
+                     help="shard tenants across R independent fabric "
+                          "replicas (default: 1, the single daemon); "
+                          "per-tenant streams are byte-identical to "
+                          "the unsharded session's")
+    svd.add_argument("--jobs", type=int, default=1, metavar="J",
+                     help="run replicas across a J-worker process "
+                          "pool (default: 1, sequential; results are "
+                          "byte-identical either way)")
+    svd.add_argument("--loop", default="vectorized",
+                     choices=("vectorized", "oracle"),
+                     help="serve hot-loop implementation: the "
+                          "vectorized fast path (default) or the "
+                          "per-cycle oracle it is verified against")
     svd.add_argument("--out", default=None, metavar="PATH",
                      help="write the session report as canonical JSON")
     svd.add_argument("--telemetry-dir", default=None, metavar="DIR",

@@ -482,28 +482,17 @@ def _bench_telemetry_overhead(small: bool) -> dict:
     }
 
 
-def _bench_serve_saturation(small: bool) -> dict:
-    """Offered load vs latency/goodput of the serving daemon.
-
-    Runs seeded `repro serve` sessions at increasing per-tenant arrival
-    rates and records the p50/p95/p99 request latency and goodput at
-    each point — the saturation curve EXPERIMENTS.md plots.  Two gates
-    ride on the record: every session must conserve its admission
-    ledger (offered == admitted + rejected == completed + rejected at
-    drain) and drain completely; the digest pins the full point list,
-    so any drift in arrivals, admission, batching, or scheduling shows
-    up as a baseline digest mismatch, machine-independently.
-    """
+def _run_serve_saturation(rates, duration: int,
+                          vectorized: bool) -> tuple[float, list[dict]]:
+    """One timed saturation sweep on the chosen serve hot loop."""
     from repro.serve import ServeConfig, ServeDaemon
 
-    rates = (0.02, 0.06, 0.12) if small else \
-        (0.02, 0.04, 0.08, 0.12, 0.20)
-    duration = 2048 if small else 4096
     points: list[dict] = []
     t0 = time.perf_counter()
     for rate in rates:
         report = ServeDaemon(ServeConfig(
-            duration=duration, seed=0, rate=rate)).run()
+            duration=duration, seed=0, rate=rate),
+            vectorized=vectorized).run()
         points.append({
             "rate": rate,
             "ledger": report["ledger"],
@@ -515,7 +504,37 @@ def _bench_serve_saturation(small: bool) -> dict:
             "conserved": report["conserved"],
             "drained": report["drained"],
         })
-    wall = time.perf_counter() - t0
+    return time.perf_counter() - t0, points
+
+
+def _bench_serve_saturation(small: bool) -> dict:
+    """Offered load vs latency/goodput of the serving daemon.
+
+    Runs seeded `repro serve` sessions at increasing per-tenant arrival
+    rates and records the p50/p95/p99 request latency and goodput at
+    each point — the saturation curve EXPERIMENTS.md plots.  The sweep
+    runs on the vectorized hot loop, then again on the per-cycle
+    oracle: like the NoC kernel benches, the two point lists must be
+    byte-identical (a silent divergence fails the bench itself) and the
+    in-run speedup is recorded alongside.  Further gates: every session
+    must conserve its admission ledger (offered == admitted + rejected
+    == completed + rejected at drain) and drain completely; the digest
+    pins the full point list, so any drift in arrivals, admission,
+    batching, or scheduling shows up as a baseline digest mismatch,
+    machine-independently.
+    """
+    rates = (0.02, 0.06, 0.12) if small else \
+        (0.02, 0.04, 0.08, 0.12, 0.20)
+    duration = 2048 if small else 4096
+    wall, points = _run_serve_saturation(rates, duration,
+                                         vectorized=True)
+    ref_wall, ref_points = _run_serve_saturation(rates, duration,
+                                                 vectorized=False)
+    if points != ref_points:
+        raise RuntimeError(
+            "vectorized serve loop diverged from the per-cycle "
+            f"oracle: {_digest_json(points)[:12]} != "
+            f"{_digest_json(ref_points)[:12]}")
     broken = [p["rate"] for p in points
               if not (p["conserved"] and p["drained"])]
     if broken:
@@ -534,12 +553,90 @@ def _bench_serve_saturation(small: bool) -> dict:
     return {
         "wall_s": wall,
         "per_call_s": wall / len(rates),
+        "reference_per_call_s": ref_wall / len(rates),
+        "speedup_vs_reference": round(ref_wall / wall, 2),
         "quantiles": quantiles,
         "meta": {"rates": list(rates), "duration": duration,
                  "seed": 0, "arrival": "poisson",
                  "goodput_per_kcycle": [p["goodput_per_kcycle"]
                                         for p in points]},
         "digest": _digest_json(points),
+    }
+
+
+#: Cluster scaling the serve_cluster bench must demonstrate (simulated
+#: goodput of 4 tenant-sharded replicas over the single shared fabric).
+SERVE_CLUSTER_MIN_SCALING = 2.5
+
+#: One cluster run feeds both serve_cluster/* records (keyed by suite).
+_serve_cluster_memo: dict[bool, dict[int, dict]] = {}
+
+
+def _bench_serve_cluster(replicas: int, small: bool) -> dict:
+    """Replica-sharded serving tier: simulated capacity scaling.
+
+    One saturated 12-tenant session is served by a single daemon
+    (``replicas1`` — every tenant contends for one photonic fabric)
+    and by four tenant-sharded replicas (``replicas4`` — each with its
+    own fabric).  Offered streams are byte-identical in both shapes
+    (per-tenant RNGs are name-keyed), so completed-request goodput per
+    *simulated* kilocycle isolates fabric capacity from wall-clock and
+    core count; the 4-replica cluster must clear
+    ``SERVE_CLUSTER_MIN_SCALING`` or the bench itself fails.  Both
+    records come from one memoized pair of runs and their digests pin
+    ledger, latency quantiles, and per-replica completion counts.
+    """
+    from repro.serve import ReplicaSet, ServeConfig
+
+    runs = _serve_cluster_memo.get(small)
+    if runs is None:
+        config = ServeConfig(duration=2048, seed=0, rate=0.2,
+                             tenants=12)
+        runs = {}
+        for r in (1, 4):
+            t0 = time.perf_counter()
+            report = ReplicaSet(config, r).run(jobs=1)
+            wall = time.perf_counter() - t0
+            point = {
+                "replicas": r,
+                "cycles": report["cycles"],
+                "ledger": report["ledger"],
+                "latency": report["latency"],
+                "goodput_per_kcycle": round(
+                    report["goodput_per_kcycle"], 3),
+                "conserved": report["conserved"],
+                "drained": report["drained"],
+                "per_replica": [
+                    {"tenants": rep["tenants"],
+                     "cycles": rep["cycles"],
+                     "completed": rep["completed"]}
+                    for rep in report["per_replica"]],
+            }
+            if not (point["conserved"] and point["drained"]):
+                raise RuntimeError(
+                    f"serve cluster (replicas={r}) violated the "
+                    "admission ledger or failed to drain")
+            runs[r] = {"wall_s": wall, "point": point}
+        scaling = (runs[4]["point"]["goodput_per_kcycle"]
+                   / runs[1]["point"]["goodput_per_kcycle"])
+        if scaling < SERVE_CLUSTER_MIN_SCALING:
+            raise RuntimeError(
+                f"serve cluster scaling {scaling:.2f}x below the "
+                f"{SERVE_CLUSTER_MIN_SCALING}x gate")
+        for r in (1, 4):
+            runs[r]["scaling"] = round(scaling, 3)
+        _serve_cluster_memo[small] = runs
+    run = runs[replicas]
+    point = run["point"]
+    return {
+        "wall_s": run["wall_s"],
+        "per_call_s": run["wall_s"],
+        "meta": {"replicas": replicas, "tenants": 12, "rate": 0.2,
+                 "duration": 2048, "seed": 0,
+                 "goodput_per_kcycle": point["goodput_per_kcycle"],
+                 "cycles": point["cycles"],
+                 "scaling_vs_replicas1": run["scaling"]},
+        "digest": _digest_json(point),
     }
 
 
@@ -573,6 +670,10 @@ BENCHMARKS: list[tuple[str, bool, object]] = [
     ("faults_smoke/stuck_mzi", True, _bench_fault_smoke),
     ("telemetry_overhead/2x2", True, _bench_telemetry_overhead),
     ("serve_saturation/poisson", True, _bench_serve_saturation),
+    ("serve_cluster/replicas1", True,
+     lambda small: _bench_serve_cluster(1, small)),
+    ("serve_cluster/replicas4", True,
+     lambda small: _bench_serve_cluster(4, small)),
 ]
 
 

@@ -207,6 +207,95 @@ class FlumenScheduler:
         done, self.completions = self.completions, {}
         return done
 
+    def skip_idle_cycles(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles with no work anywhere in the stack.
+
+        Only legal while the scheduler is fully idle — no active
+        computations, no electrical jobs, an empty compute buffer.  An
+        idle :meth:`tick` then mutates nothing but the cycle counter
+        (the tau-periodic partitioner scan iterates an empty buffer),
+        so a bulk advance is byte-equivalent to ``cycles`` empty ticks.
+        """
+        if cycles <= 0:
+            return
+        if self.active or self.electrical or self.control.compute_buffer:
+            raise RuntimeError("skip_idle_cycles with queued or active "
+                               "work would skip its lifecycle")
+        self.cycle += cycles
+
+    def quiet_countdown(self) -> int | None:
+        """Cycles until the earliest in-flight completion.
+
+        ``None`` means the scheduler is fully idle (nothing queued or
+        in flight); ``0`` means it is *not* quiet — a granted
+        computation still draining its port endpoints, or a partitioner
+        evaluation due this very tick — and per-cycle ticks must run.
+        A positive return ``r`` means the next ``r - 1`` ticks are pure
+        countdown: :meth:`skip_quiet_cycles` may bulk-apply any strict
+        prefix of them.  Queued requests are inert between the
+        tau-periodic partitioner evaluations, so a non-empty compute
+        buffer merely bounds the countdown at the next evaluation
+        instead of forbidding the skip.
+        """
+        countdown: int | None = None
+        for comp in self.active:
+            if not comp.started:
+                return 0
+            if countdown is None or comp.remaining_cycles < countdown:
+                countdown = comp.remaining_cycles
+        for job in self.electrical:
+            if countdown is None or job.remaining_cycles < countdown:
+                countdown = job.remaining_cycles
+        if self.control.compute_buffer:
+            phase = self.cycle % self.cfg.tau_cycles
+            if phase == 0:
+                return 0
+            until_eval = self.cfg.tau_cycles - phase + 1
+            if countdown is None or until_eval < countdown:
+                countdown = until_eval
+        return countdown
+
+    def skip_quiet_cycles(self, cycles: int) -> None:
+        """Advance ``cycles`` pure-countdown cycles in one bulk step.
+
+        Legal when every active computation has started, nothing
+        completes within the window (``cycles < quiet_countdown()``),
+        and — if requests are queued — no tau-periodic partitioner
+        evaluation falls inside it.  Each such tick does exactly:
+        decrement every in-flight job's remaining cycles and accrue the
+        active computations' busy-port accounting (an empty-buffer
+        partitioner scan changes nothing, and a non-empty buffer is
+        inert between evaluations).  The bulk application is
+        byte-equivalent to ``cycles`` individual ticks.
+        """
+        if cycles <= 0:
+            return
+        if self.control.compute_buffer:
+            phase = self.cycle % self.cfg.tau_cycles
+            if phase == 0 or phase + cycles > self.cfg.tau_cycles:
+                raise RuntimeError("skip_quiet_cycles across a "
+                                   "partitioner evaluation would stall "
+                                   "queued work")
+        for comp in self.active:
+            if not comp.started:
+                raise RuntimeError("skip_quiet_cycles before a "
+                                   "computation starts would skip its "
+                                   "drain accounting")
+            if comp.remaining_cycles <= cycles:
+                raise RuntimeError("skip_quiet_cycles across a "
+                                   "completion would skip its lifecycle")
+        for job in self.electrical:
+            if job.remaining_cycles <= cycles:
+                raise RuntimeError("skip_quiet_cycles across a "
+                                   "completion would skip its lifecycle")
+        for comp in self.active:
+            comp.remaining_cycles -= cycles
+            self.stats.busy_port_cycles += \
+                cycles * (comp.hi_port - comp.lo_port)
+        for job in self.electrical:
+            job.remaining_cycles -= cycles
+        self.cycle += cycles
+
     # -- Algorithm 1, lines 19-28 ---------------------------------------
 
     def _partitioner(self) -> None:
@@ -361,8 +450,8 @@ class FlumenScheduler:
         network = self.control.network
         still_active: list[ActiveComputation] = []
         for comp in self.active:
-            endpoints = self.control.port_range_endpoints(*comp.ports)
             if not comp.started:
+                endpoints = self.control.port_range_endpoints(*comp.ports)
                 if network.ports_clear(endpoints):
                     comp.started = True
                     comp.start_cycle = self.cycle
@@ -377,6 +466,7 @@ class FlumenScheduler:
             comp.remaining_cycles -= 1
             self.stats.busy_port_cycles += comp.hi_port - comp.lo_port
             if comp.remaining_cycles <= 0:
+                endpoints = self.control.port_range_endpoints(*comp.ports)
                 network.unblock_ports(endpoints)
                 self.stats.completed += 1
                 self._m_completed.inc()

@@ -139,6 +139,27 @@ class FaultInjector:
         """Scheduled injections not yet fired."""
         return len(self._events) - self._index
 
+    def next_due_cycle(self, cycle: int) -> int | None:
+        """First cycle >= ``cycle`` at which :meth:`tick` has work.
+
+        ``None`` means the injector is permanently idle (no scheduled
+        events left, no continuous faults stepping).  Idle fast-forward
+        loops (the serve daemon's vectorized path) use this to jump
+        over stretches where skipping :meth:`tick` is observably
+        equivalent to calling it.
+        """
+        due: int | None = None
+        if self._index < len(self._events):
+            due = max(cycle, self._events[self._index].cycle)
+        for fault in self._continuous:
+            interval = fault.interval_cycles
+            if not interval:
+                continue
+            step_due = cycle if cycle % interval == 0 \
+                else (cycle // interval + 1) * interval
+            due = step_due if due is None else min(due, step_due)
+        return due
+
     def tick(self, cycle: int) -> None:
         """Fire due injections and step continuous faults."""
         while self._index < len(self._events) \

@@ -288,13 +288,13 @@ class FlumenNetwork(SimKernel):
             self.reconfigurations += 1
             self._m_reconfig.inc()
 
-    def _unicast_requests(self) -> np.ndarray | None:
-        """The unicast request matrix from head-of-buffer packets.
+    def _unicast_requests(self) -> list[tuple[int, int]]:
+        """Sparse ``(src, dst)`` requests from head-of-buffer packets.
 
-        Returns ``None`` instead of an all-false matrix when no source
-        is requesting — the idle fast path.
+        Each source contributes at most one pair (its head-of-buffer
+        packet); an empty list is the idle fast path.
         """
-        requests = None
+        requests: list[tuple[int, int]] = []
         for src in sorted(self._waiting_sources):
             buf = self.request_buffers[src]
             if not buf or buf[0].multicast_dsts \
@@ -309,14 +309,12 @@ class FlumenNetwork(SimKernel):
                     continue
             if any(p.packet.dst == dst for p in self._pending.values()):
                 continue
-            if requests is None:
-                requests = np.zeros((self.nodes, self.nodes), dtype=bool)
-            requests[src, dst] = True
+            requests.append((src, dst))
         return requests
 
-    def _grant_unicasts(self, requests: np.ndarray | None) -> None:
-        """Allocate the request matrix; winners set up circuits."""
-        if requests is None:
+    def _grant_unicasts(self, requests: list[tuple[int, int]]) -> None:
+        """Allocate the sparse request list; winners set up circuits."""
+        if not requests:
             # Idle fast path.  allocate() rotates the wavefront priority
             # on every call, empty matrix or not, so the skip must too —
             # otherwise later grants diverge from the full scan.
@@ -324,17 +322,18 @@ class FlumenNetwork(SimKernel):
                 self._arbiter.rotate()
             return
         if self.arbitration == "wavefront":
-            grants = self._arbiter.allocate(requests)
+            grants = self._arbiter.allocate_sparse(requests)
         else:  # sequential: one grant per cycle, rotating priority
             grants = []
+            by_src = dict(requests)
             for offset in range(self.nodes):
                 src = (self._sequential_rr + offset) % self.nodes
-                row = np.flatnonzero(requests[src])
-                if row.size:
-                    grants = [(src, int(row[0]))]
+                dst = by_src.get(src)
+                if dst is not None:
+                    grants = [(src, dst)]
                     self._sequential_rr = (src + 1) % self.nodes
                     break
-        conflicts = int(requests.sum()) - len(grants)
+        conflicts = len(requests) - len(grants)
         if conflicts > 0:
             # Requesting sources the allocator could not serve this cycle
             # (output taken or lost the matching) — contention pressure.
@@ -358,6 +357,89 @@ class FlumenNetwork(SimKernel):
             else:
                 self._circuits[src] = circuit
                 self._busy_outputs.add(dst)
+
+    def skip_idle_cycles(self, cycles: int) -> None:
+        """Advance ``cycles`` quiescent cycles without stepping each one.
+
+        Only legal while :meth:`quiescent` holds and the tracer is off:
+        an idle :meth:`step` then touches exactly three pieces of state
+        — the wavefront priority diagonal (rotated every cycle, busy or
+        not), the utilization intervals (all-idle), and the cycle
+        counter — so applying those in bulk is byte-equivalent to
+        ``cycles`` empty steps.  The serve daemon's vectorized loop
+        uses this to fast-forward between known-future events.
+        """
+        if cycles <= 0:
+            return
+        if not self.quiescent():
+            raise RuntimeError("skip_idle_cycles on a non-quiescent "
+                               "network would drop in-flight work")
+        if self.arbitration == "wavefront":
+            self._arbiter.rotate(cycles)
+        self.utilization.record_idle_cycles(cycles)
+        self.cycle += cycles
+
+    def quiet_countdown(self) -> int | None:
+        """Cycles until the earliest in-flight delivery.
+
+        ``None`` means the network is fully quiescent; ``0`` means it is
+        *not* quiet — buffered packets could earn grants, so per-cycle
+        arbitration must run.  A positive ``r`` means nothing but
+        circuit setup/transfer countdown happens for the next ``r - 1``
+        cycles: :meth:`skip_quiet_cycles` may bulk-apply any strict
+        prefix of them (the ``r``-th cycle delivers a packet and must be
+        a real :meth:`step`).
+        """
+        if self._waiting_sources:
+            return 0
+        if not self._circuits:
+            return None if not self._pending else 0
+        return min(c.setup_left + c.remaining_flits
+                   for c in self._circuits.values())
+
+    def skip_quiet_cycles(self, cycles: int) -> None:
+        """Advance ``cycles`` pure-transit cycles in one bulk step.
+
+        Legal when nothing is buffered at any endpoint (no grants can
+        happen), no delivery falls inside the window
+        (``cycles < quiet_countdown()``), and the tracer is off.  Each
+        such :meth:`step` only counts setups down, transfers flits on
+        already-set-up circuits, rotates the wavefront priority, and
+        records utilization — all of which this bulk-applies with
+        byte-identical accounting (busy-link counts change only when a
+        setup elapses, so utilization is replayed segment by segment).
+        """
+        if cycles <= 0:
+            return
+        if self._waiting_sources:
+            raise RuntimeError("skip_quiet_cycles with buffered packets "
+                               "would skip arbitration")
+        circuits = self._circuits.values()
+        if any(c.setup_left + c.remaining_flits <= cycles
+               for c in circuits):
+            raise RuntimeError("skip_quiet_cycles across a delivery "
+                               "would drop in-flight work")
+        # Busy-link counts are constant between setup expiries; replay
+        # the utilization timeline one constant segment at a time.
+        points = sorted({c.setup_left for c in circuits
+                         if 0 < c.setup_left < cycles})
+        prev = 0
+        for point in points + [cycles]:
+            busy = sum(1 for c in circuits if c.setup_left <= prev)
+            self.utilization.record_cycles(busy, point - prev)
+            prev = point
+        for circuit in circuits:
+            elapsed_setup = min(circuit.setup_left, cycles)
+            circuit.setup_left -= elapsed_setup
+            transferred = cycles - elapsed_setup
+            circuit.remaining_flits -= transferred
+            self.flit_hops += transferred
+            self.link_traversals += transferred
+        for circuit in self._pending.values():
+            circuit.setup_left = max(0, circuit.setup_left - cycles)
+        if self.arbitration == "wavefront":
+            self._arbiter.rotate(cycles)
+        self.cycle += cycles
 
     def quiescent(self) -> bool:
         return (not self._circuits and not self._pending

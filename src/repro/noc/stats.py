@@ -46,7 +46,9 @@ class LatencyStats:
 
     @property
     def p99(self) -> float:
-        return float(np.percentile(self.latencies, 99)) \
+        from repro.obs.metrics import interpolated_percentile
+
+        return interpolated_percentile(self.latencies, 99) \
             if self.latencies else 0.0
 
     @property
@@ -112,11 +114,26 @@ class UtilizationTracker:
         in O(intervals crossed) instead of O(cycles).  Backends' idle
         fast-forward uses this to keep utilization output byte-exact.
         """
-        while idle_cycles > 0:
+        self.record_cycles(0, idle_cycles)
+
+    def record_cycles(self, busy_links: int, cycles: int) -> None:
+        """Account ``cycles`` consecutive cycles at one busy-link count.
+
+        Byte-equivalent to ``record_cycle(busy_links)`` repeated
+        ``cycles`` times: the same interval boundaries, fractions, and
+        ``on_flush`` firings, in O(intervals crossed).  Fast-forward
+        paths use this for stretches where the set of transferring
+        circuits — and hence the busy count — is provably constant.
+        """
+        if busy_links > self.num_links:
+            raise ValueError(
+                f"{busy_links} busy links exceeds {self.num_links}")
+        while cycles > 0:
             room = self.interval_cycles - self._cycle_in_interval
-            chunk = min(idle_cycles, room)
+            chunk = min(cycles, room)
+            self._busy_in_interval += busy_links * chunk
             self._cycle_in_interval += chunk
-            idle_cycles -= chunk
+            cycles -= chunk
             if self._cycle_in_interval == self.interval_cycles:
                 self._flush()
 

@@ -50,6 +50,10 @@ from repro.obs.export import (
     write_event_log,
     write_metrics_jsonl,
 )
+from repro.obs.merge import (
+    merge_event_logs,
+    merge_snapshot_series,
+)
 from repro.obs.metrics import (
     NULL_REGISTRY,
     Counter,
@@ -58,6 +62,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     Timer,
+    interpolated_percentile,
+    percentile_summary,
 )
 from repro.obs.snapshot import (
     DEFAULT_INTERVAL_CYCLES,
@@ -104,9 +110,13 @@ __all__ = [
     "TelemetryStore",
     "Timer",
     "chrome_trace_payload",
+    "interpolated_percentile",
     "load_and_validate",
     "load_and_validate_events",
+    "merge_event_logs",
+    "merge_snapshot_series",
     "parse_exposition",
+    "percentile_summary",
     "prometheus_exposition",
     "registry_exposition",
     "render_top",

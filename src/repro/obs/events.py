@@ -99,6 +99,21 @@ class MonotoneClock:
         """Last global cycle handed out."""
         return self._last_global
 
+    def first_reaching(self, global_target: int) -> int:
+        """Smallest local cycle whose rebased time reaches the target.
+
+        Pure query: assuming locals stay monotone (no further restarts),
+        ``advance(local)`` returns at least ``global_target`` exactly
+        for ``local >= first_reaching(global_target)``; returns 0 when
+        the timeline is already there.  Idle fast-forward loops use
+        this to translate a global deadline (e.g. a snapshot sampler's
+        next due time) back into local cycles without mutating the
+        clock.
+        """
+        if self._last_global >= global_target:
+            return 0
+        return int(global_target) - self._epoch
+
 
 class EventLog:
     """Recording backend: append-only list of typed event records."""

@@ -39,6 +39,40 @@ def _series_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
     return f"{name}{{{inner}}}"
 
 
+def interpolated_percentile(values, q: float) -> float:
+    """Linear-interpolated percentile of raw samples (``q`` in [0, 100]).
+
+    The one shared quantile implementation for *raw sample lists*
+    (NumPy's default ``linear`` interpolation): the serve daemon's
+    latency report, the NoC latency tracker, and the perf tables all
+    route through here, so every quantile printed anywhere in the repo
+    is computed the same way.  (:meth:`Histogram.quantile` is the
+    separate *bucketed* estimator for pre-aggregated series.)
+    """
+    import numpy as np
+
+    return float(np.percentile(np.asarray(values), q))
+
+
+def percentile_summary(values) -> dict:
+    """count/p50/p95/p99/max summary of raw latency samples.
+
+    The canonical latency block of the serve daemon's session report
+    and the cluster report; empty input yields the all-``None`` shape
+    so JSON consumers need no special-casing.
+    """
+    import numpy as np
+
+    if not len(values):
+        return {"count": 0, "p50": None, "p95": None, "p99": None,
+                "max": None}
+    arr = np.asarray(values, dtype=np.int64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"count": int(arr.size), "p50": float(p50),
+            "p95": float(p95), "p99": float(p99),
+            "max": int(arr.max())}
+
+
 class Counter:
     """Monotonic event count."""
 

@@ -52,6 +52,22 @@ class SnapshotSampler:
         self._clock = event_log.clock if event_log is not None \
             else MonotoneClock()
 
+    @property
+    def next_due(self) -> int:
+        """First *global* cycle at which :meth:`tick` would sample.
+
+        Host loops that fast-forward idle stretches use this (together
+        with :meth:`clock` ``.first_reaching``) to bound the jump so no
+        due sample is skipped; offers projecting before this cycle are
+        guaranteed non-firing.
+        """
+        return self._next_due
+
+    @property
+    def clock(self):
+        """The monotone clock rebasing this sampler's local cycles."""
+        return self._clock
+
     def tick(self, cycle: int) -> bool:
         """Offer the sampler one simulation cycle; sample when due.
 

@@ -24,6 +24,12 @@ from repro.serve.arrivals import (
     registered_arrivals,
     temporary_arrival,
 )
+from repro.serve.cluster import (
+    ClusterTelemetryStore,
+    ReplicaSet,
+    shard_configs,
+    shard_tenants,
+)
 from repro.serve.daemon import (
     LATENCY_BOUNDS,
     DaemonState,
@@ -38,16 +44,20 @@ __all__ = [
     "ArrivalProcess",
     "BurstyArrivals",
     "ClientPopulation",
+    "ClusterTelemetryStore",
     "DaemonState",
     "DiurnalArrivals",
     "LATENCY_BOUNDS",
     "LiveTelemetryStore",
     "PoissonArrivals",
+    "ReplicaSet",
     "ServeConfig",
     "ServeDaemon",
     "TokenBucket",
     "make_arrival",
     "register_arrival",
     "registered_arrivals",
+    "shard_configs",
+    "shard_tenants",
     "temporary_arrival",
 ]

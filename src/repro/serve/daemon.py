@@ -61,8 +61,11 @@ from repro.faults.models import FaultSchedule, fault_class
 from repro.faults.recovery import FabricRecovery
 from repro.noc.flumen_net import FlumenNetwork
 from repro.noc.packet import Packet
-from repro.obs import Obs
-from repro.serve.admission import AdmissionController
+from repro.obs import Obs, percentile_summary
+from repro.serve.admission import (
+    AdmissionController,
+    precompute_decisions,
+)
 from repro.serve.arrivals import (
     Arrival,
     ClientPopulation,
@@ -128,6 +131,12 @@ class ServeConfig:
     snapshot_interval: int = 256
     #: Bound the event log for long sessions (None = unbounded).
     max_events: int | None = None
+    #: Explicit tenant roster (a cluster shard); ``None`` means the
+    #: default ``tenant0 .. tenantN-1``.  Per-tenant RNG streams are
+    #: keyed by name, so a shard serving a subset of a session's
+    #: tenants draws exactly the streams those tenants would see in
+    #: the unsharded session.
+    tenant_list: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.duration < 1:
@@ -136,6 +145,15 @@ class ServeConfig:
             raise ValueError(
                 f"unknown arrival process {self.arrival!r}; "
                 f"known: {list(registered_arrivals())}")
+        if self.tenant_list is not None:
+            roster = tuple(str(t) for t in self.tenant_list)
+            if not roster:
+                raise ValueError("tenant_list must not be empty")
+            if len(set(roster)) != len(roster):
+                raise ValueError(
+                    f"tenant_list has duplicates: {roster}")
+            object.__setattr__(self, "tenant_list", roster)
+            object.__setattr__(self, "tenants", len(roster))
         if self.tenants < 1:
             raise ValueError(f"tenants must be >= 1, got {self.tenants}")
         if self.batch_size < 1:
@@ -148,7 +166,13 @@ class ServeConfig:
             fault_class(self.fault)  # raises with the registered list
 
     def tenant_names(self) -> tuple[str, ...]:
-        """Stable tenant identifiers (``tenant0`` .. ``tenantN-1``)."""
+        """Stable tenant identifiers (``tenant0`` .. ``tenantN-1``).
+
+        An explicit ``tenant_list`` (a cluster shard's roster) takes
+        precedence over the generated names.
+        """
+        if self.tenant_list is not None:
+            return self.tenant_list
         return tuple(f"tenant{i}" for i in range(self.tenants))
 
     def to_dict(self) -> dict:
@@ -194,7 +218,8 @@ class ServeDaemon:
     """
 
     def __init__(self, config: ServeConfig,
-                 obs: Obs | None = None) -> None:
+                 obs: Obs | None = None,
+                 vectorized: bool = True) -> None:
         self.config = config
         self.obs = obs if obs is not None else Obs.telemetry(
             snapshot_interval=config.snapshot_interval,
@@ -268,7 +293,8 @@ class ServeDaemon:
         # Per-tenant fabric state: a preloaded matrix program and a
         # fixed vector block every MVM in the tenant's stream reuses.
         self._vectors: dict[str, np.ndarray] = {}
-        for tenant in config.tenant_names():
+        self._tenants = config.tenant_names()
+        for tenant in self._tenants:
             t_rng = np.random.default_rng(
                 point_seed(config.seed, f"serve/matrix/{tenant}"))
             matrix = t_rng.normal(size=(config.ports, config.ports))
@@ -277,6 +303,33 @@ class ServeDaemon:
                 BlockMatmul(matrix, mzim_size=config.ports))
             self._vectors[tenant] = t_rng.normal(
                 size=(config.ports, 4))
+        # Lazily-cached per-tenant labeled counters (creation stays
+        # on-first-use so the metric series set matches the live path).
+        self._c_admitted: dict[str, object] = {}
+        self._c_rejected: dict[str, object] = {}
+        self._c_completed: dict[str, object] = {}
+        # -- vectorized fast path (two-slot oracle/fast pattern) ----------
+        # The fast slot pre-draws the whole arrival schedule (wheel),
+        # replays admission as array-form token buckets, memoizes the
+        # fleet-MVM flush and the healthy-mesh probe, and lets run() /
+        # _drain() fast-forward provably idle cycles.  Every artifact —
+        # events, snapshots, ledger, report — is byte-identical to the
+        # oracle slot (``vectorized=False``), which keeps the original
+        # per-cycle objects live.
+        self.vectorized = bool(vectorized)
+        if self.vectorized:
+            self._wheel = self.population.prebuild(config.duration)
+            self._decisions: dict[int, list[bool]] | None = \
+                precompute_decisions(
+                    self._wheel, config.tenant_names(),
+                    config.admission_rate, config.admission_burst)
+            self._arrival_source = self._wheel
+            self.control.mvm_memo_entries = max(8, 4 * config.tenants)
+            self.recovery.probe_memo = True
+        else:
+            self._wheel = None
+            self._decisions = None
+            self._arrival_source = self.population
 
     # -- accounting --------------------------------------------------------
 
@@ -297,17 +350,34 @@ class ServeDaemon:
 
     # -- request intake ----------------------------------------------------
 
-    def _offer(self, arrival: Arrival) -> None:
+    def _tenant_counter(self, cache: dict, name: str, tenant: str):
+        counter = cache.get(tenant)
+        if counter is None:
+            counter = self.obs.metrics.counter(name, tenant=tenant)
+            cache[tenant] = counter
+        return counter
+
+    def _offer(self, arrival: Arrival,
+               admit: bool | None = None) -> None:
+        """Offer one arrival; ``admit`` carries a precomputed verdict.
+
+        The oracle slot passes ``None`` and consults the live
+        :class:`AdmissionController`; the vectorized slot passes the
+        array-form replay's (bit-identical) decision.
+        """
         self.offered += 1
         self._m_offered.inc()
         tenant = self._per_tenant[arrival.tenant]
         tenant["offered"] += 1
-        if not self.admission.admit(arrival.tenant, self.cycle):
+        if admit is None:
+            admit = self.admission.admit(arrival.tenant, self.cycle)
+        if not admit:
             self.rejected += 1
             self._m_rejected.inc()
             tenant["rejected"] += 1
-            self.obs.metrics.counter("serve.tenant_rejected",
-                                     tenant=arrival.tenant).inc()
+            self._tenant_counter(self._c_rejected,
+                                 "serve.tenant_rejected",
+                                 arrival.tenant).inc()
             self.obs.events.emit("admission_reject", self.cycle,
                                  tenant=arrival.tenant,
                                  kind=arrival.kind)
@@ -315,8 +385,9 @@ class ServeDaemon:
         self.admitted += 1
         self._m_admitted.inc()
         tenant["admitted"] += 1
-        self.obs.metrics.counter("serve.tenant_admitted",
-                                 tenant=arrival.tenant).inc()
+        self._tenant_counter(self._c_admitted,
+                             "serve.tenant_admitted",
+                             arrival.tenant).inc()
         if arrival.kind == "comm":
             packet = Packet(
                 src=arrival.src, dst=arrival.dst,
@@ -353,7 +424,7 @@ class ServeDaemon:
         if not self._open:
             return
         gate = None  # evaluated lazily: advise_offload emits metrics
-        for tenant in self.config.tenant_names():
+        for tenant in self._tenants:
             batch = self._open.get(tenant)
             if batch is None:
                 continue
@@ -391,6 +462,8 @@ class ServeDaemon:
         self._in_scheduler[request_id] = batch
 
     def _collect_completions(self) -> None:
+        if not self.scheduler.completions:
+            return
         for request_id, done_cycle in \
                 self.scheduler.take_completions().items():
             batch = self._in_scheduler.pop(request_id, None)
@@ -404,9 +477,9 @@ class ServeDaemon:
                 self.completed += 1
                 self._m_completed.inc()
                 self._per_tenant[batch.tenant]["completed"] += 1
-                self.obs.metrics.counter(
-                    "serve.tenant_completed",
-                    tenant=batch.tenant).inc()
+                self._tenant_counter(self._c_completed,
+                                     "serve.tenant_completed",
+                                     batch.tenant).inc()
                 self.control.queue_mvm(
                     f"serve/{batch.tenant}",
                     self._vectors[batch.tenant],
@@ -426,8 +499,8 @@ class ServeDaemon:
         self.completed += 1
         self._m_completed.inc()
         self._per_tenant[tenant]["completed"] += 1
-        self.obs.metrics.counter("serve.tenant_completed",
-                                 tenant=tenant).inc()
+        self._tenant_counter(self._c_completed,
+                             "serve.tenant_completed", tenant).inc()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -444,22 +517,117 @@ class ServeDaemon:
         """One simulated cycle of the serving (or draining) loop."""
         serving = self.state is DaemonState.SERVING
         if serving:
-            for arrival in self.population.requests_for_cycle(
-                    self.cycle):
-                self._offer(arrival)
+            arrivals = self._arrival_source.requests_for_cycle(
+                self.cycle)
+            if self._decisions is None:
+                for arrival in arrivals:
+                    self._offer(arrival)
+            else:
+                verdicts = self._decisions.get(self.cycle, ())
+                for arrival, verdict in zip(arrivals, verdicts):
+                    self._offer(arrival, verdict)
             self.injector.tick(self.cycle)
         self.recovery.service(self.cycle)
         self._dispatch_due()
         self.scheduler.tick()
         self.net.step()
         self._collect_completions()
-        self._sync_gauges()
         sampler = self.obs.sampler
-        if sampler is not None and self.cycle & 63 == 0:
+        offer = sampler is not None and self.cycle & 63 == 0
+        if offer or not self.vectorized:
+            # Gauges are only *read* at snapshot samples and at
+            # finish(), and both gauges are pure functions of current
+            # daemon state, so the fast slot syncs them just before a
+            # snapshot offer instead of every cycle — the sampled
+            # values are identical either way.
+            self._sync_gauges()
+        if offer:
             # Throttled snapshot offer (the sampler's interval stays
             # the sampling authority, as in SimKernel.run).
             sampler.tick(self.cycle)
         self.cycle += 1
+
+    # -- idle fast-forward (vectorized slot only) --------------------------
+
+    def _idle_skip(self, end: int) -> int:
+        """Length of the provably no-op cycle run starting at ``cycle``.
+
+        Returns 0 whenever the next cycle might do *anything* the
+        oracle slot's :meth:`step` would do — an arrival, a fault-event
+        or continuous-fault tick, a probe (every ``probe_interval``
+        cycles), a batch reaching its size or age threshold (a held-due
+        batch re-evaluates the dispatch gate, and so its metrics, every
+        cycle), a firing snapshot offer, or any queued/active work in
+        the scheduler or the network.  Otherwise every skipped cycle is
+        exactly ``arbiter rotate + idle utilization + three clock
+        increments``, which :meth:`_skip_cycles` replays in bulk,
+        byte-identically.
+        """
+        cycle = self.cycle
+        if not self.ladder.healthy or self.obs.tracer.enabled:
+            return 0
+        config = self.config
+        bound = end
+        # Net first: under load it is the countdown that most often
+        # forbids the skip, and it is the cheaper of the two queries.
+        for countdown in (self.net.quiet_countdown(),
+                          self.scheduler.quiet_countdown()):
+            if countdown is not None:
+                if countdown <= 2:
+                    return 0
+                bound = min(bound, cycle + countdown - 1)
+        for batch in self._open.values():
+            due_cycle = batch.opened_cycle + config.batch_window
+            if (len(batch.requests) >= config.batch_size
+                    or due_cycle <= cycle):
+                return 0
+            bound = min(bound, due_cycle)
+        if self.state is DaemonState.SERVING:
+            if self._arrival_source.requests_for_cycle(cycle):
+                return 0
+            next_arrival = self._wheel.next_arrival_cycle(cycle + 1)
+            if next_arrival is not None:
+                bound = min(bound, next_arrival)
+            next_fault = self.injector.next_due_cycle(cycle)
+            if next_fault is not None:
+                if next_fault <= cycle:
+                    return 0
+                bound = min(bound, next_fault)
+        interval = config.probe_interval
+        if cycle % interval == 0:
+            return 0
+        bound = min(bound, (cycle // interval + 1) * interval)
+        sampler = self.obs.sampler
+        if sampler is not None:
+            # Offers happen every 64 local cycles; the sampler fires on
+            # the *rebased* timeline, so translate its global due time
+            # back through the shared clock before rounding up.
+            local_due = sampler.clock.first_reaching(sampler.next_due)
+            offer = max(cycle, local_due)
+            fire = (offer + 63) & ~63
+            if fire <= cycle:
+                return 0
+            bound = min(bound, fire)
+        return max(0, bound - cycle)
+
+    def _skip_cycles(self, cycles: int) -> None:
+        """Bulk-advance ``cycles`` quiet cycles across all three clocks."""
+        scheduler = self.scheduler
+        if (scheduler.active or scheduler.electrical
+                or scheduler.control.compute_buffer):
+            scheduler.skip_quiet_cycles(cycles)
+        else:
+            scheduler.skip_idle_cycles(cycles)
+        self.net.skip_quiet_cycles(cycles)
+        self.cycle += cycles
+
+    def _advance_until(self, end: int) -> None:
+        """Vectorized loop body: fast-forward idle runs, step the rest."""
+        skip = self._idle_skip(end)
+        if skip > 1:
+            self._skip_cycles(skip)
+        else:
+            self.step()
 
     def _drain(self) -> None:
         self._transition(DaemonState.DRAINING,
@@ -470,7 +638,10 @@ class ServeDaemon:
                     and not self._in_scheduler
                     and self.net.quiescent()):
                 break
-            self.step()
+            if self.vectorized:
+                self._advance_until(deadline)
+            else:
+                self.step()
         else:
             self.drained = False
         self.drained = self.drained and self.in_flight == 0
@@ -486,24 +657,24 @@ class ServeDaemon:
         return self.report()
 
     def run(self) -> dict:
-        """The whole session: start, serve, drain, report."""
+        """The whole session: start, serve, drain, report.
+
+        The vectorized slot fast-forwards idle cycle runs here (and in
+        :meth:`_drain`); :meth:`step` itself stays strictly
+        single-cycle so manual drivers behave identically in both
+        slots.
+        """
         self.start()
-        for _ in range(self.config.duration):
-            self.step()
+        if self.vectorized:
+            end = self.config.duration
+            while self.cycle < end:
+                self._advance_until(end)
+        else:
+            for _ in range(self.config.duration):
+                self.step()
         return self.finish()
 
     # -- reporting ---------------------------------------------------------
-
-    @staticmethod
-    def _percentiles(values: list[int]) -> dict:
-        if not values:
-            return {"count": 0, "p50": None, "p95": None, "p99": None,
-                    "max": None}
-        arr = np.asarray(values, dtype=np.int64)
-        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
-        return {"count": int(arr.size), "p50": float(p50),
-                "p95": float(p95), "p99": float(p99),
-                "max": int(arr.max())}
 
     def report(self) -> dict:
         """Canonical session record (byte-stable under one seed)."""
@@ -530,8 +701,8 @@ class ServeDaemon:
             "drained": self.drained,
             "per_tenant": self._per_tenant,
             "latency": {
-                "mvm": self._percentiles(self._mvm_latencies),
-                "comm": self._percentiles(
+                "mvm": percentile_summary(self._mvm_latencies),
+                "comm": percentile_summary(
                     list(self.net.latency.latencies)),
             },
             "goodput_per_kcycle": (

@@ -1,0 +1,415 @@
+"""Tests for the replica-sharded serving tier and the serve fast path.
+
+Covers the cluster's execution-invariance contract (sequential oracle
+== process pool, byte for byte, per tenant and in aggregate; a shard
+run standalone matches the same shard inside a cluster), the
+vectorized serve hot loop against its per-cycle oracle, the bulk
+skip machinery's legality guards, token-bucket admission properties
+(hypothesis), and bounded-drain / zero-rate lifecycle edges.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.obs import (
+    merge_event_logs,
+    merge_snapshot_series,
+    validate_events,
+)
+from repro.obs.events import MonotoneClock
+from repro.serve import (
+    DaemonState,
+    ReplicaSet,
+    ServeConfig,
+    ServeDaemon,
+    TokenBucket,
+    shard_configs,
+    shard_tenants,
+)
+from repro.serve.cluster import ClusterTelemetryStore, _run_shard
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+def _artifacts(daemon: ServeDaemon, report: dict) -> str:
+    return _canonical({
+        "report": report,
+        "events": list(daemon.obs.events.events),
+        "snapshots": list(daemon.obs.sampler.series),
+    })
+
+
+# ---------------------------------------------------------------------------
+# vectorized serve hot loop vs the per-cycle oracle
+
+
+class TestVectorizedLoop:
+    def _pair(self, **kwargs):
+        outs = []
+        for vectorized in (False, True):
+            daemon = ServeDaemon(ServeConfig(**kwargs),
+                                 vectorized=vectorized)
+            outs.append(_artifacts(daemon, daemon.run()))
+        return outs
+
+    def test_poisson_byte_identical(self):
+        oracle, fast = self._pair(rate=0.08, duration=768, seed=0)
+        assert oracle == fast
+
+    def test_bursty_byte_identical(self):
+        oracle, fast = self._pair(rate=0.08, arrival="bursty",
+                                  duration=768, seed=7)
+        assert oracle == fast
+
+    @pytest.mark.parametrize("fault", ["phase_drift", "dead_link"])
+    def test_fault_session_byte_identical(self, fault):
+        oracle, fast = self._pair(rate=0.05, duration=640, seed=3,
+                                  fault=fault)
+        assert oracle == fast
+
+    def test_zero_rate_byte_identical(self):
+        oracle, fast = self._pair(rate=0.0, duration=512, seed=1)
+        assert oracle == fast
+
+    def test_default_slot_is_vectorized(self):
+        assert ServeDaemon(ServeConfig(duration=16)).vectorized
+        assert not ServeDaemon(ServeConfig(duration=16),
+                               vectorized=False).vectorized
+
+
+class TestSkipMachinery:
+    def test_scheduler_skip_refuses_unstarted_computation(self):
+        daemon = ServeDaemon(ServeConfig(rate=0.2, duration=256,
+                                         seed=0), vectorized=False)
+        daemon.start()
+        sched = daemon.scheduler
+        while not sched.active:
+            daemon.step()
+        comp = sched.active[0]
+        comp.started = False
+        with pytest.raises(RuntimeError):
+            sched.skip_quiet_cycles(1)
+        comp.started = True
+        with pytest.raises(RuntimeError):
+            sched.skip_quiet_cycles(comp.remaining_cycles)
+
+    def test_scheduler_skip_refuses_partitioner_window(self):
+        daemon = ServeDaemon(ServeConfig(rate=0.2, duration=256,
+                                         seed=0), vectorized=False)
+        daemon.start()
+        sched = daemon.scheduler
+        while not sched.control.compute_buffer:
+            daemon.step()
+        tau = sched.cfg.tau_cycles
+        phase = sched.cycle % tau
+        with pytest.raises(RuntimeError):
+            sched.skip_quiet_cycles(tau - phase + 1)
+
+    def test_net_skip_refuses_waiting_sources_and_completions(self):
+        daemon = ServeDaemon(ServeConfig(rate=0.2, duration=256,
+                                         seed=0, mvm_fraction=0.0),
+                             vectorized=False)
+        daemon.start()
+        net = daemon.net
+        while not net._circuits:
+            daemon.step()
+        countdown = net.quiet_countdown()
+        if countdown:
+            with pytest.raises(RuntimeError):
+                net.skip_quiet_cycles(countdown)
+
+    def test_utilization_record_cycles_equivalence(self):
+        from repro.noc.stats import UtilizationTracker
+
+        bulk = UtilizationTracker(num_links=4, interval_cycles=10)
+        loop = UtilizationTracker(num_links=4, interval_cycles=10)
+        for busy, n in [(0, 7), (2, 13), (4, 10), (1, 3)]:
+            bulk.record_cycles(busy, n)
+            for _ in range(n):
+                loop.record_cycle(busy)
+        bulk.finish()
+        loop.finish()
+        assert bulk.timeline == loop.timeline
+
+    def test_monotone_clock_first_reaching(self):
+        clock = MonotoneClock()
+        clock.advance(100)
+        clock.advance(10)   # local restart -> epoch 100
+        assert clock.first_reaching(90) == 0
+        assert clock.first_reaching(150) == 50
+        assert clock.advance(50) == 150
+
+
+# ---------------------------------------------------------------------------
+# token-bucket admission properties (hypothesis)
+
+#: Dyadic rates are exact in binary floating point, so chunked and
+#: stepwise refills accumulate identically (no rounding drift).
+_DYADIC_RATES = st.sampled_from(
+    [0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0])
+
+
+class TestTokenBucketProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(rate=st.floats(0.001, 2.0, allow_nan=False),
+           burst=st.floats(1.0, 64.0, allow_nan=False),
+           gaps=st.lists(st.integers(0, 5000), min_size=1,
+                         max_size=30))
+    def test_level_never_exceeds_burst(self, rate, burst, gaps):
+        bucket = TokenBucket(rate, burst)
+        cycle = 0
+        for gap in gaps:
+            cycle += gap
+            bucket.try_take(cycle)
+            assert bucket.level(cycle) <= burst
+
+    @settings(max_examples=60, deadline=None)
+    @given(rate=st.floats(0.001, 2.0, allow_nan=False),
+           burst=st.floats(1.0, 64.0, allow_nan=False),
+           gaps=st.lists(st.integers(0, 100), min_size=2,
+                         max_size=30))
+    def test_level_monotone_between_takes(self, rate, burst, gaps):
+        bucket = TokenBucket(rate, burst)
+        cycle = 0
+        previous = bucket.level(cycle)
+        for gap in gaps:
+            cycle += gap
+            level = bucket.level(cycle)
+            assert level >= previous - 1e-12
+            previous = level
+
+    @settings(max_examples=60, deadline=None)
+    @given(rate=_DYADIC_RATES,
+           burst=st.sampled_from([1.0, 2.0, 4.0, 8.0, 24.0]),
+           offers=st.lists(st.integers(1, 40), min_size=1,
+                           max_size=25))
+    def test_decisions_invariant_to_refill_granularity(
+            self, rate, burst, offers):
+        # Same offer cycles, two observation patterns: one bucket is
+        # only touched at offers (one big refill), the other is
+        # level()-polled every cycle in between (many small refills).
+        lazy = TokenBucket(rate, burst)
+        eager = TokenBucket(rate, burst)
+        cycle = 0
+        for gap in offers:
+            cycle += gap
+            for poll in range(cycle - gap + 1, cycle):
+                eager.level(poll)
+            assert lazy.try_take(cycle) == eager.try_take(cycle)
+            assert lazy.tokens == eager.tokens
+
+
+# ---------------------------------------------------------------------------
+# bounded drain and zero-rate lifecycle
+
+
+class TestDrainEdges:
+    def test_drain_limit_reports_undrained_but_conserved(self):
+        config = ServeConfig(rate=0.3, duration=128, seed=0,
+                             drain_limit=2)
+        daemon = ServeDaemon(config, vectorized=False)
+        report = daemon.run()
+        assert not report["drained"]
+        assert report["conserved"]
+        ledger = report["ledger"]
+        assert ledger["in_flight"] == \
+            ledger["admitted"] - ledger["completed"]
+        assert ledger["in_flight"] > 0
+        assert daemon.state is DaemonState.STOPPED
+
+    def test_drain_limit_vectorized_matches_oracle(self):
+        config = ServeConfig(rate=0.3, duration=128, seed=0,
+                             drain_limit=2)
+        outs = []
+        for vectorized in (False, True):
+            daemon = ServeDaemon(config, vectorized=vectorized)
+            outs.append(_artifacts(daemon, daemon.run()))
+        assert outs[0] == outs[1]
+
+    def test_zero_rate_walks_full_lifecycle_with_empty_ledger(self):
+        daemon = ServeDaemon(ServeConfig(rate=0.0, duration=256,
+                                         seed=0))
+        report = daemon.run()
+        assert report["ledger"] == {
+            "offered": 0, "admitted": 0, "rejected": 0,
+            "completed": 0, "in_flight": 0}
+        assert report["drained"] and report["conserved"]
+        states = [e["dst"] for e in daemon.obs.events.events
+                  if e["type"] == "serve_transition"]
+        assert states == ["serving", "draining", "stopped"]
+        assert daemon.state is DaemonState.STOPPED
+
+
+# ---------------------------------------------------------------------------
+# tenant sharding
+
+
+class TestSharding:
+    def test_round_robin_partition(self):
+        names = tuple(f"tenant{i}" for i in range(10))
+        shards = shard_tenants(names, 4)
+        assert len(shards) == 4
+        assert sorted(n for shard in shards for n in shard) \
+            == sorted(names)
+        assert shards[0] == ("tenant0", "tenant4", "tenant8")
+        assert shards[3] == ("tenant3", "tenant7")
+
+    def test_shard_bounds(self):
+        names = ("a", "b")
+        with pytest.raises(ValueError):
+            shard_tenants(names, 0)
+        with pytest.raises(ValueError):
+            shard_tenants(names, 3)
+        assert shard_tenants(names, 1) == [names]
+
+    def test_shard_configs_carry_roster(self):
+        config = ServeConfig(tenants=5, duration=64)
+        shards = shard_configs(config, 2)
+        assert shards[0].tenant_names() == \
+            ("tenant0", "tenant2", "tenant4")
+        assert shards[0].tenants == 3
+        assert shards[1].tenants == 2
+
+    def test_tenant_list_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(duration=64, tenant_list=())
+        with pytest.raises(ValueError):
+            ServeConfig(duration=64, tenant_list=("a", "a"))
+        config = ServeConfig(duration=64, tenant_list=("x", "y"))
+        assert config.tenants == 2
+        assert config.tenant_names() == ("x", "y")
+
+
+# ---------------------------------------------------------------------------
+# the replica set: execution invariance, merged telemetry, scaling
+
+
+_CLUSTER_CFG = dict(rate=0.08, duration=768, seed=0, tenants=6)
+
+
+class TestReplicaSet:
+    def test_pool_matches_sequential_oracle(self):
+        config = ServeConfig(**_CLUSTER_CFG)
+        seq = ReplicaSet(config, 3)
+        seq_report = seq.run(jobs=1)
+        pool = ReplicaSet(config, 3)
+        pool_report = pool.run(jobs=2)
+        assert _canonical(seq_report) == _canonical(pool_report)
+        assert seq.merged_events == pool.merged_events
+        assert seq.merged_snapshots == pool.merged_snapshots
+        assert seq.per_tenant_streams() == pool.per_tenant_streams()
+
+    def test_shard_matches_standalone_daemon(self):
+        config = ServeConfig(**_CLUSTER_CFG)
+        replica_set = ReplicaSet(config, 3)
+        replica_set.run(jobs=1)
+        shard = replica_set.shards[1]
+        assert replica_set.results[1] == _run_shard(shard, True)
+
+    def test_per_tenant_streams_match_unsharded_session(self):
+        # The Design-B contract: sharding changes *which daemon* serves
+        # a tenant, never the tenant's offered arrival stream.
+        config = ServeConfig(**_CLUSTER_CFG)
+        replica_set = ReplicaSet(config, 3)
+        replica_set.run(jobs=1)
+        single = ServeDaemon(config)
+        single.run()
+        sharded = {
+            t: [e["type"] for e in events if e["type"] == "admit"]
+            for t, events in replica_set.per_tenant_streams().items()}
+        alone = {t: [] for t in config.tenant_names()}
+        for event in single.obs.events.events:
+            if event["type"] == "admit":
+                alone[event["tenant"]].append(event["type"])
+        assert sharded == alone
+
+    def test_merged_streams_validate(self):
+        replica_set = ReplicaSet(ServeConfig(**_CLUSTER_CFG), 3)
+        replica_set.run(jobs=1)
+        assert validate_events(replica_set.merged_events) == []
+        cycles = [s["cycle"] for s in replica_set.merged_snapshots]
+        assert cycles == sorted(cycles)
+        assert [s["seq"] for s in replica_set.merged_snapshots] \
+            == list(range(len(cycles)))
+
+    def test_report_has_no_execution_detail(self):
+        replica_set = ReplicaSet(ServeConfig(**_CLUSTER_CFG), 2)
+        report = replica_set.run(jobs=1)
+        assert "jobs" not in report
+        assert report["replicas"] == 2
+        assert report["cycles"] == max(
+            r["cycles"] for r in report["per_replica"])
+
+    def test_goodput_scales_with_replicas(self):
+        config = ServeConfig(rate=0.2, duration=1024, seed=0,
+                             tenants=8)
+        goodput = {}
+        for replicas in (1, 4):
+            report = ReplicaSet(config, replicas).run(jobs=1)
+            assert report["conserved"] and report["drained"]
+            goodput[replicas] = report["goodput_per_kcycle"]
+        assert goodput[4] >= 2.0 * goodput[1]
+
+    def test_cluster_store_surface(self):
+        replica_set = ReplicaSet(ServeConfig(**_CLUSTER_CFG), 2)
+        replica_set.run(jobs=1)
+        store = ClusterTelemetryStore(replica_set)
+        assert store.events() == replica_set.merged_events
+        assert store.events_tail(3) == replica_set.merged_events[-3:]
+        assert store.latest_snapshot() \
+            == replica_set.merged_snapshots[-1]
+        assert "repro_telemetry_replicas 2" in store.exposition()
+        health = store.health()
+        assert health["status"] == "ok"
+        assert health["replicas"] == 2
+        assert health["in_flight"] == 0
+
+    def test_store_requires_completed_run(self):
+        replica_set = ReplicaSet(ServeConfig(**_CLUSTER_CFG), 2)
+        with pytest.raises(RuntimeError):
+            ClusterTelemetryStore(replica_set)
+        with pytest.raises(RuntimeError):
+            replica_set.report()
+
+
+class TestClusterCLI:
+    _ARGS = ["serve", "--duration", "512", "--rate", "0.08",
+             "--tenants", "4", "--replicas", "2"]
+
+    def test_cluster_check_sequential(self, capsys):
+        assert main(self._ARGS + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "serve cluster check: ok" in out
+
+    def test_cluster_check_pool_vs_oracle(self, capsys):
+        assert main(self._ARGS + ["--jobs", "2", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "pool == sequential oracle" in out
+
+    def test_cluster_report_invariant_to_jobs(self, tmp_path, capsys):
+        seq = tmp_path / "seq.json"
+        pool = tmp_path / "pool.json"
+        assert main(self._ARGS + ["--out", str(seq)]) == 0
+        assert main(self._ARGS + ["--jobs", "2", "--out",
+                                  str(pool)]) == 0
+        assert seq.read_bytes() == pool.read_bytes()
+
+    def test_cluster_telemetry_dir(self, tmp_path, capsys):
+        root = tmp_path / "telemetry"
+        assert main(self._ARGS + ["--telemetry-dir", str(root)]) == 0
+        events = [json.loads(line) for line in
+                  (root / "events.jsonl").read_text().splitlines()]
+        assert validate_events(events) == []
+        assert (root / "snapshots.jsonl").exists()
+        assert (root / "metrics.prom").exists()
+
+    def test_oracle_loop_flag(self, capsys):
+        assert main(["serve", "--duration", "256", "--loop", "oracle",
+                     "--check"]) == 0
+        assert "serve check: ok" in capsys.readouterr().out
